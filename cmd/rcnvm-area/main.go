@@ -1,0 +1,49 @@
+// Command rcnvm-area evaluates the circuit-level models of the paper:
+// Figure 4 (area overhead of RC-DRAM vs RC-NVM) and Figure 5 (RC-NVM
+// latency overhead), optionally over a custom array-size sweep.
+//
+// Usage:
+//
+//	rcnvm-area [-lines 16,32,64,...] [-read 25] [-write 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rcnvm/internal/circuit"
+)
+
+func main() {
+	linesFlag := flag.String("lines", "", "comma-separated WL/BL counts (default: the paper's sweep)")
+	readFlag := flag.Float64("read", 25, "baseline NVM read latency in ns (Panasonic RRAM: 25)")
+	writeFlag := flag.Float64("write", 10, "baseline NVM write pulse in ns")
+	flag.Parse()
+
+	var lines []int
+	if *linesFlag != "" {
+		for _, f := range strings.Split(*linesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "rcnvm-area: bad line count %q\n", f)
+				os.Exit(2)
+			}
+			lines = append(lines, n)
+		}
+	}
+
+	lm := circuit.DefaultLatencyModel()
+	fmt.Printf("%8s %16s %16s %16s %14s %14s\n",
+		"WL/BL", "RC-DRAM area", "RC-NVM area", "RC-NVM latency", "read (ns)", "write (ns)")
+	for _, p := range circuit.Sweep(lines) {
+		fmt.Printf("%8d %15.0f%% %15.1f%% %15.1f%% %14.1f %14.1f\n",
+			p.Lines, p.RCDRAMOverhead*100, p.RCNVMOverhead*100, p.LatencyOvh*100,
+			lm.ScaleLatency(*readFlag, p.Lines), lm.ScaleLatency(*writeFlag, p.Lines))
+	}
+	fmt.Printf("\nTable 1 design point: %d mats of %dx%d per subarray -> read %.1f ns, write %.1f ns\n",
+		circuit.MatsPerSubarray, circuit.MatLines, circuit.MatLines,
+		lm.ScaleLatency(*readFlag, circuit.MatLines), lm.ScaleLatency(*writeFlag, circuit.MatLines))
+}

@@ -1,0 +1,125 @@
+// Command rcnvm-bench regenerates the tables and figures of the RC-NVM
+// paper's evaluation on the built-in simulator.
+//
+// Usage:
+//
+//	rcnvm-bench [-scale small|medium|full] [-run fig4,fig17,...]
+//
+// Experiments: table1, table2, fig4, fig5, fig17, fig18 (includes fig19,
+// fig20, fig21), fig22, fig23, tech (PCM/3D XPoint extension), energy
+// (energy-model extension). Default: all of them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rcnvm/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "workload scale: small|medium|full")
+	formatFlag := flag.String("format", "text", "output format: text|csv|md")
+	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp) or 'all'")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	format, err := experiments.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	render := func(t experiments.TableData) {
+		if err := t.RenderAs(os.Stdout, format); err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	want := map[string]bool{}
+	if *runFlag == "all" {
+		for _, id := range []string{"table1", "table2", "fig4", "fig5", "fig17", "fig18", "fig22", "fig23", "tech", "energy", "olxp"} {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
+		os.Exit(1)
+	}
+
+	if want["table1"] {
+		fmt.Print(experiments.ConfigTable())
+	}
+	if want["table2"] {
+		fmt.Print(experiments.QueryTable())
+	}
+	if want["fig4"] {
+		render(experiments.AreaOverhead())
+	}
+	if want["fig5"] {
+		render(experiments.LatencyOverhead())
+	}
+	if want["fig17"] {
+		tab, err := experiments.MicroBench(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(tab)
+	}
+	if want["fig18"] || want["fig19"] || want["fig20"] || want["fig21"] {
+		res, err := experiments.QueryBench(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(res.Exec)
+		render(res.Accesses)
+		render(res.BufMiss)
+		render(res.Coherence)
+	}
+	if want["fig22"] {
+		tab, err := experiments.LatencySensitivity(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(tab)
+	}
+	if want["fig23"] {
+		tab, err := experiments.GroupCaching(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(tab)
+	}
+	if want["tech"] {
+		tab, err := experiments.TechnologyComparison(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(tab)
+	}
+	if want["energy"] {
+		tab, err := experiments.EnergyComparison(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(tab)
+	}
+	if want["olxp"] {
+		tab, err := experiments.OLXPMix(scale)
+		if err != nil {
+			fail(err)
+		}
+		render(tab)
+	}
+}

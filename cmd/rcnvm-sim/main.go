@@ -1,0 +1,176 @@
+// Command rcnvm-sim runs a synthetic memory access pattern through one of
+// the simulated systems and prints timing and device statistics — a quick
+// way to poke at the memory model without the database layer.
+//
+// Usage:
+//
+//	rcnvm-sim [-system rcnvm|rram|dram|gsdram] [-pattern row|col|strided]
+//	          [-n 4096] [-stride 16] [-write] [-cores 4]
+//	          [-record trace.bin] [-replay trace.bin]
+//
+// Patterns:
+//
+//	row      sequential 8-byte words along rows (row-major scan)
+//	col      sequential words down columns (RC-NVM cload; on row-only
+//	         systems the same cells via strided row accesses)
+//	strided  every stride-th word with row-oriented accesses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/config"
+	"rcnvm/internal/sim"
+	"rcnvm/internal/trace"
+)
+
+func main() {
+	systemFlag := flag.String("system", "rcnvm", "rcnvm|rram|dram|gsdram")
+	patternFlag := flag.String("pattern", "col", "row|col|strided")
+	nFlag := flag.Int("n", 4096, "number of 8-byte accesses")
+	strideFlag := flag.Int("stride", 16, "stride in words for -pattern strided")
+	writeFlag := flag.Bool("write", false, "use stores instead of loads")
+	coresFlag := flag.Int("cores", 4, "cores to spread the pattern across (1..4)")
+	recordFlag := flag.String("record", "", "save the generated trace to this file")
+	replayFlag := flag.String("replay", "", "replay a saved trace instead of generating a pattern")
+	flag.Parse()
+
+	var cfg config.System
+	switch *systemFlag {
+	case "rcnvm":
+		cfg = config.RCNVM()
+	case "rram":
+		cfg = config.RRAM()
+	case "dram":
+		cfg = config.DRAM()
+	case "gsdram":
+		cfg = config.GSDRAM()
+	default:
+		fmt.Fprintf(os.Stderr, "rcnvm-sim: unknown system %q\n", *systemFlag)
+		os.Exit(2)
+	}
+	if *coresFlag < 1 || *coresFlag > cfg.CPU.Cores {
+		fmt.Fprintf(os.Stderr, "rcnvm-sim: cores must be 1..%d\n", cfg.CPU.Cores)
+		os.Exit(2)
+	}
+
+	geom := cfg.Device.Geom
+	dual := cfg.Device.SupportsColumn()
+	buildOp := func(i int) trace.Op {
+		switch *patternFlag {
+		case "row":
+			c := geom.Decode(uint32(i*addr.WordBytes), addr.Row)
+			if *writeFlag {
+				return trace.StoreOp(c)
+			}
+			return trace.LoadOp(c)
+		case "col":
+			c := addr.Coord{Row: uint32(i % geom.Rows()), Column: uint32(i/geom.Rows()) % uint32(geom.Columns())}
+			if dual {
+				if *writeFlag {
+					return trace.CStoreOp(c)
+				}
+				return trace.CLoadOp(c)
+			}
+			if *writeFlag {
+				return trace.StoreOp(c)
+			}
+			return trace.LoadOp(c)
+		case "strided":
+			c := geom.Decode(uint32(i**strideFlag*addr.WordBytes), addr.Row)
+			if *writeFlag {
+				return trace.StoreOp(c)
+			}
+			return trace.LoadOp(c)
+		default:
+			fmt.Fprintf(os.Stderr, "rcnvm-sim: unknown pattern %q\n", *patternFlag)
+			os.Exit(2)
+			return trace.Op{}
+		}
+	}
+
+	var streams []trace.Stream
+	if *replayFlag != "" {
+		f, err := os.Open(*replayFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-sim:", err)
+			os.Exit(1)
+		}
+		streams, err = trace.LoadStreams(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-sim:", err)
+			os.Exit(1)
+		}
+		if err := trace.Validate(streams, geom); err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-sim:", err)
+			os.Exit(1)
+		}
+		if len(streams) > cfg.CPU.Cores {
+			fmt.Fprintf(os.Stderr, "rcnvm-sim: trace has %d cores, system has %d\n", len(streams), cfg.CPU.Cores)
+			os.Exit(1)
+		}
+	} else {
+		streams = make([]trace.Stream, *coresFlag)
+		for i := 0; i < *nFlag; i++ {
+			core := i * *coresFlag / *nFlag
+			streams[core] = append(streams[core], buildOp(i))
+		}
+	}
+	if *recordFlag != "" {
+		f, err := os.Create(*recordFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-sim:", err)
+			os.Exit(1)
+		}
+		err = trace.SaveStreams(f, streams)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded trace to %s\n", *recordFlag)
+	}
+
+	res, err := sim.RunOn(cfg, streams)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcnvm-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("system   %s\n", cfg.Name)
+	nOps := 0
+	for _, s := range streams {
+		nOps += s.MemOps()
+	}
+	if *replayFlag != "" {
+		fmt.Printf("pattern  replay of %s (%d mem ops, %d cores)\n", *replayFlag, nOps, len(streams))
+	} else {
+		fmt.Printf("pattern  %s x %d (stride %d, write=%v, cores=%d)\n",
+			*patternFlag, *nFlag, *strideFlag, *writeFlag, *coresFlag)
+	}
+	fmt.Printf("time     %.3f us (%.3f Mcycles)\n", float64(res.TimePs)/1e6, res.MCycles())
+	if nOps > 0 {
+		fmt.Printf("per op   %.2f ns\n", float64(res.TimePs)/float64(nOps)/1000)
+	}
+	if res.MemLatency.Count() > 0 {
+		fmt.Printf("latency  mean %.1f ns, p50 %.1f ns, p95 %.1f ns, p99 %.1f ns\n",
+			res.MemLatency.Mean()/1000,
+			float64(res.MemLatency.Quantile(0.5))/1000,
+			float64(res.MemLatency.Quantile(0.95))/1000,
+			float64(res.MemLatency.Quantile(0.99))/1000)
+	}
+	fmt.Println("counters:")
+	keys := make([]string, 0, len(res.Counters))
+	for k := range res.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-28s %d\n", k, res.Counters[k])
+	}
+}

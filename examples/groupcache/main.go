@@ -1,0 +1,62 @@
+// Groupcache: the §5 wide-field problem and the group-caching fix. A table
+// with a 32-byte wide field is read in strict tuple order; without group
+// caching every access ping-pongs the column buffer, with it the columns
+// are prefetched and pinned in blocks and consumed from the cache.
+//
+//	go run ./examples/groupcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcnvm/internal/config"
+	"rcnvm/internal/stats"
+	"rcnvm/internal/workload"
+)
+
+func main() {
+	p := workload.SmallParams()
+	p.TuplesC = 16 * 1024
+	q14, _ := workload.QueryByID("Q14")
+
+	fmt.Println(q14.SQL)
+	fmt.Printf("table-c: %d tuples, f2_wide spans %d columns\n\n", p.TuplesC, 4)
+	fmt.Printf("%-22s %12s %16s %18s\n", "group caching", "Mcycles", "col activations", "buffer miss rate")
+
+	var base float64
+	for _, g := range []int{0, 32, 64, 96, 128} {
+		pp := p
+		pp.GroupLines = g
+		res, err := workload.Run(config.RCNVM(), q14, pp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "w/o"
+		if g > 0 {
+			label = fmt.Sprintf("%d cachelines/col", g)
+		}
+		extra := ""
+		if g == 0 {
+			base = res.MCycles()
+		} else {
+			extra = fmt.Sprintf("   (%.0f%% faster)", (1-res.MCycles()/base)*100)
+		}
+		fmt.Printf("%-22s %12.3f %16d %17.1f%%%s\n",
+			label, res.MCycles(), res.Counters[stats.ColActivations],
+			res.BufferMissRate()*100, extra)
+	}
+
+	// The ablation: group caching without pinning loses its protection
+	// against eviction by the other cores.
+	pp := p
+	pp.GroupLines = 128
+	pp.DisablePinning = true
+	res, err := workload.Run(config.RCNVM(), q14, pp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %12.3f %16d %17.1f%%   (ablation)\n",
+		"128, pinning off", res.MCycles(), res.Counters[stats.ColActivations],
+		res.BufferMissRate()*100)
+}

@@ -1,0 +1,108 @@
+// Layout: the §4.5 storage-layer mechanics. Slices several tables into
+// chunks, packs them into subarrays with the rotatable 2D bin packer, and
+// shows how rotation and the layouts map table coordinates to physical
+// cells.
+//
+//	go run ./examples/layout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/binpack"
+	"rcnvm/internal/device"
+	"rcnvm/internal/imdb"
+)
+
+func main() {
+	geom := device.NVMGeometry(true)
+
+	fmt.Println("-- intra-chunk layouts (Figure 13) --")
+	tbl := imdb.NewTable(imdb.Uniform("t", 16), 4096)
+	for _, layout := range []imdb.Layout{imdb.RowMajor, imdb.ColMajor} {
+		alloc := imdb.NewNVMAllocator(geom)
+		p, err := alloc.Place(imdb.NewTable(tbl.Schema, tbl.Tuples), layout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c0 := p.Cell(0, 9)  // tuple 0, field f10
+		c1 := p.Cell(1, 9)  // tuple 1, field f10
+		w1 := p.Cell(0, 10) // tuple 0, next word
+		fmt.Printf("%-10s f10 of tuples 0,1 at (r%d,c%d) (r%d,c%d); next word at (r%d,c%d); scan=%v fetch=%v\n",
+			layout, c0.Row, c0.Column, c1.Row, c1.Column, w1.Row, w1.Column,
+			p.ScanOrient(0), p.FetchOrient(0))
+	}
+
+	fmt.Println()
+	fmt.Println("-- inter-chunk 2D online bin packing with rotation (§4.5.3) --")
+	items := []binpack.Rect{
+		{W: 320, H: 1024}, {W: 1024, H: 256}, {W: 160, H: 1024},
+		{W: 1024, H: 512}, {W: 640, H: 128}, {W: 96, H: 1024},
+	}
+	rot := binpack.New(geom.Columns(), geom.Rows())
+	noRot := binpack.NewNoRotate(geom.Columns(), geom.Rows())
+	for _, r := range items {
+		pl, err := rot.Place(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := noRot.Place(r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chunk %4dx%-4d -> subarray %d at (%d,%d)%s\n",
+			r.W, r.H, pl.Bin, pl.X, pl.Y, rotatedNote(pl))
+	}
+	fmt.Printf("subarrays used: %d with rotation, %d without\n", rot.Bins(), noRot.Bins())
+
+	fmt.Println()
+	fmt.Println("-- multiple tables share the allocator --")
+	alloc := imdb.NewNVMAllocator(geom)
+	for _, spec := range []struct {
+		name   string
+		fields int
+		tuples int
+	}{
+		{"orders", 16, 200_000},
+		{"lineitem", 20, 150_000},
+		{"customer", 8, 50_000},
+	} {
+		p, err := alloc.Place(imdb.NewTable(imdb.Uniform(spec.name, spec.fields), spec.tuples), imdb.ColMajor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %7d tuples x %2d fields -> %d chunk(s), %s\n",
+			spec.name, spec.tuples, spec.fields, p.Chunks(), byteSize(p.Table().Bytes()))
+	}
+	total := alloc.SubarraysUsed()
+	fmt.Printf("subarrays in use: %d of %d (%s of %s)\n",
+		total, geom.TotalBanks()*geom.Subarrays(),
+		byteSize(int64(total)*int64(geom.SubarrayBytes())), byteSize(geom.TotalBytes()))
+
+	fmt.Println()
+	fmt.Println("-- dual addresses of one cell (Figure 7) --")
+	c := addr.Coord{Channel: 1, Rank: 2, Bank: 3, Subarray: 4, Row: 437, Column: 182}
+	rowA := geom.Encode(c, addr.Row)
+	colA := geom.Encode(c, addr.Column)
+	fmt.Printf("cell (row 437, col 182): row-oriented %#010x, column-oriented %#010x\n", rowA, colA)
+	fmt.Printf("Row2ColAddr(%#010x) = %#010x\n", rowA, geom.Convert(rowA, addr.Row))
+}
+
+func rotatedNote(pl binpack.Placement) string {
+	if pl.Rotated {
+		return "  (rotated)"
+	}
+	return ""
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,3 @@
+module rcnvm
+
+go 1.22

@@ -1,0 +1,379 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// rcGeom is the RC-NVM geometry from Table 1 of the paper: 2 channels,
+// 4 ranks, 8 banks, 8 subarrays, 1024x1024 words of 8 bytes.
+func rcGeom() Geometry {
+	return Geometry{
+		ChannelBits:  1,
+		RankBits:     2,
+		BankBits:     3,
+		SubarrayBits: 3,
+		RowBits:      10,
+		ColumnBits:   10,
+		DualAddress:  true,
+	}
+}
+
+// dramGeom is the DDR3 geometry from Table 1: 2 channels, 2 ranks, 8 banks,
+// 65536 rows, 256 word columns.
+func dramGeom() Geometry {
+	return Geometry{
+		ChannelBits: 1,
+		RankBits:    1,
+		BankBits:    3,
+		RowBits:     16,
+		ColumnBits:  8,
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := rcGeom().Validate(); err != nil {
+		t.Fatalf("rc geometry invalid: %v", err)
+	}
+	if err := dramGeom().Validate(); err != nil {
+		t.Fatalf("dram geometry invalid: %v", err)
+	}
+	bad := rcGeom()
+	bad.RowBits = 20
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected oversized geometry to fail validation")
+	}
+	bad = rcGeom()
+	bad.ColumnBits = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected zero-column geometry to fail validation")
+	}
+}
+
+func TestGeometrySizes(t *testing.T) {
+	g := rcGeom()
+	if got := g.SubarrayBytes(); got != 8<<20 {
+		t.Errorf("subarray size = %d, want 8 MiB", got)
+	}
+	if got := g.TotalBytes(); got != 4<<30 {
+		t.Errorf("total size = %d, want 4 GiB", got)
+	}
+	if got := g.RowBytes(); got != 8192 {
+		t.Errorf("row buffer = %d, want 8192", got)
+	}
+	if got := g.ColumnBytes(); got != 8192 {
+		t.Errorf("column buffer = %d, want 8192", got)
+	}
+	d := dramGeom()
+	if got := d.TotalBytes(); got != 4<<30 {
+		t.Errorf("dram total size = %d, want 4 GiB", got)
+	}
+	if got := d.RowBytes(); got != 2048 {
+		t.Errorf("dram row buffer = %d, want 2048", got)
+	}
+	if got := g.TotalBanks(); got != 64 {
+		t.Errorf("rc total banks = %d, want 64", got)
+	}
+}
+
+func clampCoord(g Geometry, c Coord) Coord {
+	c.Channel &= mask(g.ChannelBits)
+	c.Rank &= mask(g.RankBits)
+	c.Bank &= mask(g.BankBits)
+	c.Subarray &= mask(g.SubarrayBits)
+	c.Row &= mask(g.RowBits)
+	c.Column &= mask(g.ColumnBits)
+	c.Byte &= mask(WordBits)
+	return c
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := rcGeom()
+	prop := func(c Coord) bool {
+		c = clampCoord(g, c)
+		for _, o := range []Orientation{Row, Column} {
+			if g.Decode(g.Encode(c, o), o) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	g := rcGeom()
+	prop := func(a uint32) bool {
+		for _, o := range []Orientation{Row, Column} {
+			if g.Encode(g.Decode(a, o), o) != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConvertPreservesLocation verifies the core dual-addressing property:
+// the row-oriented and column-oriented addresses of a location decode to the
+// same physical coordinate, and Convert is an involution.
+func TestConvertPreservesLocation(t *testing.T) {
+	g := rcGeom()
+	prop := func(a uint32) bool {
+		col := g.Convert(a, Row)
+		if g.Decode(col, Column) != g.Decode(a, Row) {
+			return false
+		}
+		return g.Convert(col, Column) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRowAddressWalksRow checks the paper's observation that incrementing a
+// row-oriented address by one word scans along a physical row, and
+// incrementing a column-oriented address scans down a physical column.
+func TestRowAddressWalksRow(t *testing.T) {
+	g := rcGeom()
+	c := Coord{Channel: 1, Rank: 2, Bank: 5, Subarray: 3, Row: 437, Column: 182}
+
+	a := g.Encode(c, Row)
+	next := g.Decode(a+WordBytes, Row)
+	if next.Row != c.Row || next.Column != c.Column+1 {
+		t.Errorf("row addr +8 moved to row %d col %d, want row %d col %d",
+			next.Row, next.Column, c.Row, c.Column+1)
+	}
+
+	a = g.Encode(c, Column)
+	next = g.Decode(a+WordBytes, Column)
+	if next.Column != c.Column || next.Row != c.Row+1 {
+		t.Errorf("col addr +8 moved to row %d col %d, want row %d col %d",
+			next.Row, next.Column, c.Row+1, c.Column)
+	}
+}
+
+func TestRowAddressWrapsIntoNextRow(t *testing.T) {
+	g := rcGeom()
+	c := Coord{Row: 10, Column: uint32(g.Columns() - 1), Byte: 7}
+	a := g.Encode(c, Row)
+	next := g.Decode(a+1, Row)
+	if next.Row != 11 || next.Column != 0 || next.Byte != 0 {
+		t.Errorf("end-of-row +1 decoded to %+v, want row 11 col 0 byte 0", next)
+	}
+}
+
+func TestBankIDDense(t *testing.T) {
+	g := rcGeom()
+	seen := make(map[int]bool)
+	for ch := 0; ch < g.Channels(); ch++ {
+		for rk := 0; rk < g.Ranks(); rk++ {
+			for bk := 0; bk < g.Banks(); bk++ {
+				id := g.BankID(Coord{Channel: uint32(ch), Rank: uint32(rk), Bank: uint32(bk)})
+				if id < 0 || id >= g.TotalBanks() {
+					t.Fatalf("bank id %d out of range [0,%d)", id, g.TotalBanks())
+				}
+				if seen[id] {
+					t.Fatalf("bank id %d not unique", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	if len(seen) != g.TotalBanks() {
+		t.Fatalf("got %d distinct bank ids, want %d", len(seen), g.TotalBanks())
+	}
+}
+
+func TestLineOfAligns(t *testing.T) {
+	g := rcGeom()
+	c := Coord{Channel: 1, Rank: 3, Bank: 7, Subarray: 2, Row: 437, Column: 182}
+
+	rl := g.LineOf(c, Row)
+	if rl.Major != 437 || rl.Minor != 176 {
+		t.Errorf("row line = major %d minor %d, want 437/176", rl.Major, rl.Minor)
+	}
+	cl := g.LineOf(c, Column)
+	if cl.Major != 182 || cl.Minor != 432 {
+		t.Errorf("col line = major %d minor %d, want 182/432", cl.Major, cl.Minor)
+	}
+}
+
+func TestLineWordCoords(t *testing.T) {
+	g := rcGeom()
+	c := Coord{Row: 437, Column: 182}
+	rl := g.LineOf(c, Row)
+	for i := 0; i < LineWords; i++ {
+		w := rl.WordCoord(i)
+		if w.Row != 437 || w.Column != uint32(176+i) {
+			t.Errorf("word %d at row %d col %d, want 437/%d", i, w.Row, w.Column, 176+i)
+		}
+	}
+}
+
+// TestCrossingsGeometry verifies the synonym geometry of Figure 8: a
+// row-oriented line crosses exactly 8 column-oriented lines, one per covered
+// word, and each crossing line covers the original word.
+func TestCrossingsGeometry(t *testing.T) {
+	g := rcGeom()
+	c := Coord{Channel: 1, Rank: 0, Bank: 4, Subarray: 6, Row: 437, Column: 182}
+	rl := g.LineOf(c, Row)
+	crossings := g.Crossings(rl)
+	for i, cl := range crossings {
+		if cl.Orient != Column {
+			t.Fatalf("crossing %d has orientation %v", i, cl.Orient)
+		}
+		if cl.Major != uint16(176+i) {
+			t.Errorf("crossing %d at column %d, want %d", i, cl.Major, 176+i)
+		}
+		if cl.Minor != 432 {
+			t.Errorf("crossing %d row base = %d, want 432", i, cl.Minor)
+		}
+		// The intersection word within the crossing line is the original
+		// line's major index mod 8.
+		w := cl.WordCoord(rl.CrossWordIndex())
+		if w.Row != 437 || w.Column != uint32(176+i) {
+			t.Errorf("crossing %d intersection at %d/%d, want 437/%d",
+				i, w.Row, w.Column, 176+i)
+		}
+	}
+}
+
+// TestCrossingSymmetry checks that crossing is symmetric: if column line B
+// crosses row line A, then A appears among B's crossings.
+func TestCrossingSymmetry(t *testing.T) {
+	g := rcGeom()
+	prop := func(c Coord) bool {
+		c = clampCoord(g, c)
+		rl := g.LineOf(c, Row)
+		for _, cl := range g.Crossings(rl) {
+			found := false
+			for _, back := range g.Crossings(cl) {
+				if back == rl {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAddrMatchesBase(t *testing.T) {
+	g := rcGeom()
+	c := Coord{Channel: 1, Rank: 2, Bank: 3, Subarray: 4, Row: 600, Column: 300, Byte: 5}
+	for _, o := range []Orientation{Row, Column} {
+		id := g.LineOf(c, o)
+		a := g.LineAddr(id)
+		if a%LineBytes != 0 {
+			t.Errorf("%v line addr %#x not 64-byte aligned", o, a)
+		}
+		if g.Decode(a, o) != id.Base() {
+			t.Errorf("%v line addr decodes to %+v, want %+v", o, g.Decode(a, o), id.Base())
+		}
+	}
+}
+
+func TestOrientationPerp(t *testing.T) {
+	if Row.Perp() != Column || Column.Perp() != Row {
+		t.Fatal("Perp not an involution")
+	}
+	if Row.String() != "row" || Column.String() != "column" {
+		t.Fatalf("unexpected strings %q %q", Row.String(), Column.String())
+	}
+}
+
+func TestDRAMGeometryRowOnly(t *testing.T) {
+	g := dramGeom()
+	// Encode/decode must round-trip even without subarray bits.
+	c := Coord{Channel: 1, Rank: 1, Bank: 6, Row: 54321, Column: 200, Byte: 3}
+	if got := g.Decode(g.Encode(c, Row), Row); got != c {
+		t.Errorf("dram round trip = %+v, want %+v", got, c)
+	}
+	if g.Subarrays() != 1 {
+		t.Errorf("dram subarrays = %d, want 1", g.Subarrays())
+	}
+}
+
+func interleavedGeom() Geometry {
+	g := dramGeom()
+	g.Interleaved = true
+	return g
+}
+
+func TestInterleavedRoundTrip(t *testing.T) {
+	g := interleavedGeom()
+	prop := func(a uint32) bool {
+		return g.Encode(g.Decode(a, Row), Row) == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	prop2 := func(c Coord) bool {
+		c = clampCoord(g, c)
+		return g.Decode(g.Encode(c, Row), Row) == c
+	}
+	if err := quick.Check(prop2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterleavedSpreadsChannels: consecutive row-buffer-sized blocks of a
+// sequential address stream alternate channels, and banks rotate before a
+// bank's row changes — the conventional controller mapping.
+func TestInterleavedSpreadsChannels(t *testing.T) {
+	g := interleavedGeom()
+	rowBytes := uint32(g.RowBytes())
+	c0 := g.Decode(0, Row)
+	c1 := g.Decode(rowBytes, Row)
+	if c0.Channel == c1.Channel {
+		t.Errorf("adjacent row-buffer blocks on the same channel (%d)", c0.Channel)
+	}
+	// The bank changes before the row does: walk blocks until the row
+	// increments and verify every bank was visited.
+	banks := map[[3]uint32]bool{}
+	var a uint32
+	for g.Decode(a, Row).Row == 0 {
+		c := g.Decode(a, Row)
+		banks[[3]uint32{c.Channel, c.Rank, c.Bank}] = true
+		a += rowBytes
+	}
+	if len(banks) != g.TotalBanks() {
+		t.Errorf("row 0 spans %d banks, want all %d", len(banks), g.TotalBanks())
+	}
+}
+
+// TestInterleavedSequentialIsDense: a sequential stream covers every byte
+// exactly once (the mapping is a bijection).
+func TestInterleavedSequentialIsDense(t *testing.T) {
+	g := interleavedGeom()
+	seen := map[Coord]bool{}
+	for a := uint32(0); a < 1<<16; a += WordBytes {
+		c := g.Decode(a, Row)
+		if seen[c] {
+			t.Fatalf("address %#x aliases an earlier coordinate", a)
+		}
+		seen[c] = true
+	}
+}
+
+// TestHierarchicalVsInterleavedDiffer: sanity that the flag changes the
+// mapping (they agree only within the low column bits).
+func TestHierarchicalVsInterleavedDiffer(t *testing.T) {
+	flat := dramGeom()
+	il := interleavedGeom()
+	a := uint32(1) << 20
+	if flat.Decode(a, Row) == il.Decode(a, Row) {
+		t.Error("interleaved mapping identical to hierarchical at high addresses")
+	}
+}

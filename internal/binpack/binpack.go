@@ -1,0 +1,147 @@
+// Package binpack solves the inter-chunk placement problem of §4.5.3:
+// table chunks are rectangles that must be placed online (tables are
+// created at run time) into fixed-size bins (the RC-NVM subarrays), and —
+// because RC-NVM reads data equally well along rows and columns — every
+// chunk may be rotated by 90 degrees before placement.
+//
+// The paper adopts the two-dimensional online bin packing with rotatable
+// items of Fujita and Hada. We implement the same class of algorithm: an
+// online shelf heuristic with rotation. Items are normalized so their
+// longer side is horizontal (rotation), then placed on the existing shelf
+// with the least leftover height (best-fit), opening a new shelf or bin
+// only when necessary. The goal, as in the paper, is to minimize the number
+// of subarrays touched.
+package binpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rect is an item footprint in abstract units (the IMDB layer uses 8-byte
+// words horizontally and memory rows vertically).
+type Rect struct {
+	W, H int
+}
+
+// Placement records where an item landed.
+type Placement struct {
+	Bin     int
+	X, Y    int
+	W, H    int // final (possibly rotated) footprint
+	Rotated bool
+}
+
+// Packer places items online into bins of a fixed size.
+type Packer struct {
+	binW, binH  int
+	allowRotate bool
+	bins        []*binState
+	placed      int
+}
+
+type shelf struct {
+	y, height, usedW int
+}
+
+type binState struct {
+	shelves []shelf
+	usedH   int
+}
+
+// New returns a packer with the given bin dimensions and rotation enabled.
+func New(binW, binH int) *Packer {
+	return &Packer{binW: binW, binH: binH, allowRotate: true}
+}
+
+// NewNoRotate returns a packer that never rotates items (the ablation
+// baseline: conventional memories cannot rotate chunks).
+func NewNoRotate(binW, binH int) *Packer {
+	return &Packer{binW: binW, binH: binH}
+}
+
+// Bins returns how many bins have been opened.
+func (p *Packer) Bins() int { return len(p.bins) }
+
+// Placed returns how many items have been placed.
+func (p *Packer) Placed() int { return p.placed }
+
+// ErrTooLarge is returned when an item exceeds the bin in both
+// orientations.
+var ErrTooLarge = errors.New("binpack: item larger than bin")
+
+// Place places one item, possibly rotating it, and returns its placement.
+func (p *Packer) Place(r Rect) (Placement, error) {
+	if r.W <= 0 || r.H <= 0 {
+		return Placement{}, fmt.Errorf("binpack: invalid rect %dx%d", r.W, r.H)
+	}
+	fitsAsIs := r.W <= p.binW && r.H <= p.binH
+	fitsRot := p.allowRotate && r.H <= p.binW && r.W <= p.binH
+	if !fitsAsIs && !fitsRot {
+		return Placement{}, fmt.Errorf("%w: %dx%d in %dx%d", ErrTooLarge, r.W, r.H, p.binW, p.binH)
+	}
+
+	// Rotation is a space optimization, not a default: keeping chunks
+	// upright preserves the natural access orientation of their layout,
+	// so the original orientation is tried first at every stage and the
+	// rotated one only when it avoids opening a new bin (or when the
+	// item cannot fit upright at all).
+	type cand struct {
+		w, h int
+		rot  bool
+	}
+	var cands []cand
+	if fitsAsIs {
+		cands = append(cands, cand{r.W, r.H, false})
+	}
+	if fitsRot && r.W != r.H {
+		cands = append(cands, cand{r.H, r.W, true})
+	}
+
+	// Stage 1: best-fit over existing shelves (least leftover shelf
+	// height), preferring the earlier candidate orientation on ties.
+	for _, c := range cands {
+		bestBin, bestShelf := -1, -1
+		bestWaste := 1 << 30
+		for bi, b := range p.bins {
+			for si := range b.shelves {
+				s := &b.shelves[si]
+				if s.height >= c.h && p.binW-s.usedW >= c.w {
+					if waste := s.height - c.h; waste < bestWaste {
+						bestBin, bestShelf, bestWaste = bi, si, waste
+					}
+				}
+			}
+		}
+		if bestBin >= 0 {
+			b := p.bins[bestBin]
+			s := &b.shelves[bestShelf]
+			pl := Placement{Bin: bestBin, X: s.usedW, Y: s.y, W: c.w, H: c.h, Rotated: c.rot}
+			s.usedW += c.w
+			p.placed++
+			return pl, nil
+		}
+	}
+
+	// Stage 2: open a new shelf in an existing bin.
+	for _, c := range cands {
+		for bi, b := range p.bins {
+			if p.binH-b.usedH >= c.h {
+				pl := Placement{Bin: bi, X: 0, Y: b.usedH, W: c.w, H: c.h, Rotated: c.rot}
+				b.shelves = append(b.shelves, shelf{y: b.usedH, height: c.h, usedW: c.w})
+				b.usedH += c.h
+				p.placed++
+				return pl, nil
+			}
+		}
+	}
+
+	// Stage 3: open a new bin with the preferred orientation.
+	c := cands[0]
+	b := &binState{}
+	b.shelves = append(b.shelves, shelf{y: 0, height: c.h, usedW: c.w})
+	b.usedH = c.h
+	p.bins = append(p.bins, b)
+	p.placed++
+	return Placement{Bin: len(p.bins) - 1, X: 0, Y: 0, W: c.w, H: c.h, Rotated: c.rot}, nil
+}

@@ -1,0 +1,179 @@
+// Package cache models the processor cache hierarchy of the RC-NVM system
+// (§4.3 of the paper): private L1/L2 per core and a shared, inclusive L3
+// with a directory.
+//
+// RC-NVM lets the same data be cached under two different addresses — its
+// row-oriented and its column-oriented encoding. The paper handles the
+// resulting synonym problem with one orientation bit per line and eight
+// "crossing" bits per 64-byte block (one per 8-byte word): when a line is
+// installed, the up-to-eight perpendicular lines that intersect it are
+// looked up, intersecting words are copied so duplicates agree, and the
+// crossing bits record the overlap; a write to a word whose crossing bit is
+// set updates the duplicate; an eviction clears the crossing bits of its
+// crossed lines. This package implements exactly that bookkeeping (values
+// are not simulated, only the state machine and its latency/stat costs),
+// plus the cache-pinning primitive used by group caching (§5).
+package cache
+
+import (
+	"rcnvm/internal/addr"
+)
+
+// Key identifies one cacheable 64-byte block. Normal blocks are addressed
+// by an oriented line identity; GS-DRAM gathered patterns are cached under
+// a synthetic pattern identity (the gathered data exists under no linear
+// address).
+type Key struct {
+	Line     addr.LineID
+	Gather   bool
+	GatherID uint32
+}
+
+// RCKey returns the key for a normal (row- or column-oriented) line.
+func RCKey(l addr.LineID) Key { return Key{Line: l} }
+
+// GatherKey returns the key for a GS-DRAM gathered pattern.
+func GatherKey(id uint32) Key { return Key{Gather: true, GatherID: id} }
+
+// Config sizes the hierarchy. Latencies are cumulative lookup latencies in
+// picoseconds (the time from the core issuing the access to data return
+// when the hit occurs at that level).
+type Config struct {
+	Cores int
+
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+	L3Sets, L3Ways int
+
+	L1LatPs, L2LatPs, L3LatPs int64
+	// ResponseLatPs is added between memory data return and core wakeup.
+	ResponseLatPs int64
+
+	// Synonym and coherence penalties (per event, in picoseconds).
+	SynonymCopyPs int64 // copying the intersecting word on install
+	CrossUpdatePs int64 // updating the duplicate on a crossed write
+	CrossClearPs  int64 // clearing a crossing bit on eviction
+	InvalPs       int64 // invalidating a remote private copy
+
+	// PrefetchDegree is the depth of the L3 next-line stream prefetcher:
+	// on a demand miss the next N lines (in the missing line's own
+	// orientation) are fetched into L3. Zero disables prefetching.
+	PrefetchDegree int
+}
+
+// DefaultConfig is the Table 1 processor: 4 cores at 2 GHz, 32 KB L1,
+// 256 KB L2 (private, 8-way), 8 MB shared L3, 64-byte lines.
+func DefaultConfig() Config {
+	const cpuCycle = 500 // ps at 2 GHz
+	return Config{
+		Cores:  4,
+		L1Sets: 64, L1Ways: 8, // 32 KB
+		L2Sets: 512, L2Ways: 8, // 256 KB
+		L3Sets: 16384, L3Ways: 8, // 8 MB
+		L1LatPs:        4 * cpuCycle,
+		L2LatPs:        12 * cpuCycle,
+		L3LatPs:        38 * cpuCycle,
+		ResponseLatPs:  4 * cpuCycle,
+		SynonymCopyPs:  6 * cpuCycle,
+		CrossUpdatePs:  4 * cpuCycle,
+		CrossClearPs:   2 * cpuCycle,
+		InvalPs:        40 * cpuCycle,
+		PrefetchDegree: 4,
+	}
+}
+
+// line is the metadata for one cached block.
+type line struct {
+	key    Key
+	valid  bool
+	dirty  bool
+	pinned bool
+	// crossMask has bit w set when word w of this line is duplicated in a
+	// perpendicular line currently cached (the paper's crossing bits).
+	crossMask uint8
+	// sharers is the directory bitmask of cores whose private caches may
+	// hold this block. Maintained at L3 only.
+	sharers uint32
+	lru     uint64
+}
+
+// level is one set-associative cache array.
+type level struct {
+	sets    [][]line
+	ways    int
+	lruTick uint64
+}
+
+func newLevel(sets, ways int) *level {
+	l := &level{sets: make([][]line, sets), ways: ways}
+	for i := range l.sets {
+		l.sets[i] = make([]line, ways)
+	}
+	return l
+}
+
+func (l *level) setIndex(k Key, geom addr.Geometry) int {
+	var v uint32
+	if k.Gather {
+		v = k.GatherID
+	} else {
+		v = geom.LineAddr(k.Line) >> 6
+	}
+	return int(v) % len(l.sets)
+}
+
+// probe returns the line holding k, or nil.
+func (l *level) probe(k Key, geom addr.Geometry) *line {
+	set := l.sets[l.setIndex(k, geom)]
+	for i := range set {
+		if set[i].valid && set[i].key == k {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch refreshes LRU state of ln.
+func (l *level) touch(ln *line) {
+	l.lruTick++
+	ln.lru = l.lruTick
+}
+
+// victim picks the replacement slot in k's set: an invalid way if any,
+// otherwise the least recently used unpinned way. It returns nil when every
+// way is valid and pinned (install must bypass).
+func (l *level) victim(k Key, geom addr.Geometry) *line {
+	set := l.sets[l.setIndex(k, geom)]
+	var best *line
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			return ln
+		}
+		if ln.pinned {
+			continue
+		}
+		if best == nil || ln.lru < best.lru {
+			best = ln
+		}
+	}
+	return best
+}
+
+// forEach calls fn for every valid line. Used by UnpinAll and tests.
+func (l *level) forEach(fn func(*line)) {
+	for s := range l.sets {
+		for w := range l.sets[s] {
+			if l.sets[s][w].valid {
+				fn(&l.sets[s][w])
+			}
+		}
+	}
+}
+
+// countValid returns the number of valid lines (test/diagnostic helper).
+func (l *level) countValid() int {
+	n := 0
+	l.forEach(func(*line) { n++ })
+	return n
+}

@@ -1,0 +1,548 @@
+package cache
+
+import (
+	"fmt"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/event"
+	"rcnvm/internal/stats"
+)
+
+// MemRequest is what the hierarchy sends toward the memory controller on an
+// LLC miss or a dirty write-back.
+type MemRequest struct {
+	Coord     addr.Coord
+	Orient    addr.Orientation
+	Write     bool
+	Writeback bool
+	Gather    bool
+	Done      func(finish int64)
+}
+
+// Hierarchy is the 3-level cache model. It is single-threaded and driven by
+// the event engine.
+type Hierarchy struct {
+	cfg  Config
+	geom addr.Geometry
+	dual bool // device supports dual addressing (enables synonym logic)
+
+	l1, l2 []*level
+	l3     *level
+
+	mshr map[Key]*mshrEntry
+	mem  func(*MemRequest)
+	eng  *event.Engine
+	st   *stats.Set
+
+	streams []streamState // per-core stride-prefetcher training state
+}
+
+// streamState is the per-core training state of the stride prefetcher.
+type streamState struct {
+	valid  bool
+	orient addr.Orientation
+	last   uint32
+	stride int64
+}
+
+type waiter struct {
+	write   bool
+	wordIdx int
+	done    func(int64)
+}
+
+type mshrEntry struct {
+	waiters []waiter
+	cores   uint32
+	pin     bool
+}
+
+// New builds a hierarchy for a device with the given geometry. mem is
+// invoked (synchronously, inside engine events) to start memory requests.
+func New(cfg Config, geom addr.Geometry, dual bool, eng *event.Engine, st *stats.Set, mem func(*MemRequest)) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		geom: geom,
+		dual: dual,
+		l3:   newLevel(cfg.L3Sets, cfg.L3Ways),
+		mshr: make(map[Key]*mshrEntry),
+		mem:  mem,
+		eng:  eng,
+		st:   st,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, newLevel(cfg.L1Sets, cfg.L1Ways))
+		h.l2 = append(h.l2, newLevel(cfg.L2Sets, cfg.L2Ways))
+	}
+	h.streams = make([]streamState, cfg.Cores)
+	return h
+}
+
+// Access is one core-issued cache access at 8-byte granularity.
+type Access struct {
+	Core int
+	Key  Key
+	// MemCoord is the device coordinate fetched on a miss: the line's base
+	// word for normal lines, the pattern's anchor word for gathers.
+	MemCoord addr.Coord
+	WordIdx  int // 0..7, which word of the line is touched
+	Write    bool
+	Pin      bool // pin the line on install/touch (group caching)
+}
+
+// Lookup performs the access, invoking done exactly once (via the engine)
+// with the completion time.
+func (h *Hierarchy) Access(a Access, done func(int64)) {
+	if a.Core < 0 || a.Core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range", a.Core))
+	}
+	now := h.eng.Now()
+
+	// L1.
+	if ln := h.l1[a.Core].probe(a.Key, h.geom); ln != nil {
+		h.l1[a.Core].touch(ln)
+		pen := h.onHit(a, ln)
+		h.st.Inc(stats.L1Hits)
+		h.complete(now+h.cfg.L1LatPs+pen, done)
+		return
+	}
+	// L2.
+	if ln := h.l2[a.Core].probe(a.Key, h.geom); ln != nil {
+		h.l2[a.Core].touch(ln)
+		pen := h.onHit(a, ln)
+		h.fillPrivate(h.l1[a.Core], a, ln.crossMask, ln.dirty && a.Write)
+		h.st.Inc(stats.L2Hits)
+		h.complete(now+h.cfg.L2LatPs+pen, done)
+		return
+	}
+	// L3.
+	if ln := h.l3.probe(a.Key, h.geom); ln != nil {
+		h.l3.touch(ln)
+		ln.sharers |= 1 << uint(a.Core)
+		pen := h.onHit(a, ln)
+		h.fillPrivate(h.l2[a.Core], a, ln.crossMask, false)
+		h.fillPrivate(h.l1[a.Core], a, ln.crossMask, false)
+		h.st.Inc(stats.L3Hits)
+		h.complete(now+h.cfg.L3LatPs+pen, done)
+		h.trainPrefetcher(a)
+		return
+	}
+
+	// LLC miss. Secondary misses to an in-flight line merge into its MSHR
+	// and are not separate memory accesses (Figure 19 counts memory
+	// accesses, i.e. primary misses).
+	w := waiter{write: a.Write, wordIdx: a.WordIdx, done: done}
+	if e, ok := h.mshr[a.Key]; ok {
+		if e.cores == 0 {
+			// Demand access caught up with an in-flight prefetch.
+			h.st.Inc(stats.PrefetchHits)
+		}
+		e.waiters = append(e.waiters, w)
+		e.cores |= 1 << uint(a.Core)
+		e.pin = e.pin || a.Pin
+		h.st.Inc(stats.MSHRMerges)
+		return
+	}
+	h.st.Inc(stats.LLCMisses)
+	e := &mshrEntry{waiters: []waiter{w}, cores: 1 << uint(a.Core), pin: a.Pin}
+	h.mshr[a.Key] = e
+	key := a.Key
+	h.mem(&MemRequest{
+		Coord:  a.MemCoord,
+		Orient: keyOrient(key),
+		Gather: key.Gather,
+		Done:   func(finish int64) { h.fill(key, finish) },
+	})
+	h.trainPrefetcher(a)
+}
+
+// maxPrefetchStride bounds the strides the prefetcher follows (it gives up
+// on irregular patterns). The IMDB runs on 1 GB huge pages (§4.2.2), so
+// strides beyond a 4 KB page — e.g. one 8 KB device row per fetched tuple —
+// are still predictable physical strides.
+const maxPrefetchStride = 16384
+
+// trainPrefetcher implements a per-core stride prefetcher at the L3 level:
+// accesses that reach L3 train a (last address, stride) state per core;
+// once the stride repeats, the next PrefetchDegree strided lines are
+// fetched into L3 with no waiters. This covers both sequential streams
+// (stride = one line) and the strided field scans of row stores.
+func (h *Hierarchy) trainPrefetcher(a Access) {
+	if h.cfg.PrefetchDegree <= 0 || a.Key.Gather {
+		return
+	}
+	o := a.Key.Line.Orient
+	cur := h.geom.LineAddr(a.Key.Line) + uint32(a.WordIdx*addr.WordBytes)
+	st := &h.streams[a.Core]
+	stride := int64(cur) - int64(st.last)
+	trained := st.valid && st.orient == o && stride == st.stride &&
+		stride != 0 && stride >= -maxPrefetchStride && stride <= maxPrefetchStride
+	st.valid = true
+	st.orient = o
+	st.stride = stride
+	st.last = cur
+	if !trained {
+		return
+	}
+	for k := 1; k <= h.cfg.PrefetchDegree; k++ {
+		pa := int64(cur) + int64(k)*stride
+		if pa < 0 || pa > int64(^uint32(0)) {
+			return
+		}
+		nk := RCKey(h.geom.LineOf(h.geom.Decode(uint32(pa), o), o))
+		if _, ok := h.mshr[nk]; ok {
+			continue
+		}
+		if h.l3.probe(nk, h.geom) != nil {
+			continue
+		}
+		h.mshr[nk] = &mshrEntry{}
+		h.st.Inc(stats.Prefetches)
+		key := nk
+		h.mem(&MemRequest{
+			Coord:  key.Line.Base(),
+			Orient: key.Line.Orient,
+			Done:   func(finish int64) { h.fill(key, finish) },
+		})
+	}
+}
+
+func keyOrient(k Key) addr.Orientation {
+	if k.Gather {
+		return addr.Row
+	}
+	return k.Line.Orient
+}
+
+func (h *Hierarchy) complete(at int64, done func(int64)) {
+	h.eng.At(at, func() { done(at) })
+}
+
+// onHit applies write effects (dirty marking, crossing-duplicate update,
+// coherence invalidation) to a hit at any level and returns the extra
+// latency incurred.
+func (h *Hierarchy) onHit(a Access, ln *line) int64 {
+	if a.Pin {
+		ln.pinned = true
+		h.st.Inc(stats.PinnedLines)
+	}
+	if !a.Write {
+		return 0
+	}
+	ln.dirty = true
+	var pen int64
+	// Keep the L3 copy's dirty bit in sync (write-back hierarchy: the L3
+	// copy becomes stale but we only track metadata; mark it dirty so the
+	// eventual eviction writes back).
+	if l3 := h.l3.probe(a.Key, h.geom); l3 != nil {
+		l3.dirty = true
+		pen += h.invalidateOtherSharers(a.Core, l3)
+	}
+	pen += h.crossedWrite(a, ln)
+	return pen
+}
+
+// invalidateOtherSharers removes the block from every other core's private
+// caches, per the directory. Returns the added latency.
+func (h *Hierarchy) invalidateOtherSharers(core int, l3 *line) int64 {
+	others := l3.sharers &^ (1 << uint(core))
+	if others == 0 {
+		return 0
+	}
+	var pen int64
+	for c := 0; c < h.cfg.Cores; c++ {
+		if others&(1<<uint(c)) == 0 {
+			continue
+		}
+		inval := false
+		if ln := h.l1[c].probe(l3.key, h.geom); ln != nil {
+			ln.valid = false
+			inval = true
+		}
+		if ln := h.l2[c].probe(l3.key, h.geom); ln != nil {
+			ln.valid = false
+			inval = true
+		}
+		if inval {
+			pen += h.cfg.InvalPs
+			h.st.Inc(stats.CoherenceInvals)
+		}
+		h.st.Inc(stats.CoherenceMsgs)
+	}
+	l3.sharers = 1 << uint(core)
+	h.st.Add(stats.OverheadPs, pen)
+	return pen
+}
+
+// crossedWrite handles a write to a word whose crossing bit is set: the
+// duplicate word in the perpendicular line is updated in place (§4.3.2).
+func (h *Hierarchy) crossedWrite(a Access, ln *line) int64 {
+	if !h.dual || a.Key.Gather || ln.crossMask&(1<<uint(a.WordIdx)) == 0 {
+		return 0
+	}
+	crossings := h.geom.Crossings(a.Key.Line)
+	ck := RCKey(crossings[a.WordIdx])
+	if cl := h.l3.probe(ck, h.geom); cl != nil {
+		cl.dirty = true
+	}
+	h.st.Inc(stats.CrossingUpdates)
+	h.st.Add(stats.OverheadPs, h.cfg.CrossUpdatePs)
+	return h.cfg.CrossUpdatePs
+}
+
+// fillPrivate installs a copy of the block into a private level, handling
+// the victim: dirty L1 victims merge into L2, dirty L2 victims into L3, and
+// an L2 eviction back-invalidates the L1 copy (inclusive hierarchy).
+func (h *Hierarchy) fillPrivate(lv *level, a Access, crossMask uint8, dirty bool) {
+	v := lv.victim(a.Key, h.geom)
+	if v == nil {
+		// Every way pinned: serve without caching.
+		h.st.Inc(stats.PinBypasses)
+		return
+	}
+	if v.valid {
+		h.evictPrivate(a.Core, lv, v)
+	}
+	*v = line{key: a.Key, valid: true, dirty: dirty || a.Write, pinned: a.Pin, crossMask: crossMask}
+	lv.touch(v)
+}
+
+func (h *Hierarchy) evictPrivate(core int, lv *level, v *line) {
+	h.st.Inc(stats.Evictions)
+	if lv == h.l2[core] {
+		// Inclusive: dropping an L2 block removes the L1 copy too.
+		if l1 := h.l1[core].probe(v.key, h.geom); l1 != nil {
+			if l1.dirty {
+				v.dirty = true
+			}
+			l1.valid = false
+		}
+	}
+	if v.dirty {
+		// Merge dirtiness inward; the write-back to memory happens when
+		// the L3 copy is evicted.
+		if l3 := h.l3.probe(v.key, h.geom); l3 != nil {
+			l3.dirty = true
+		}
+		h.st.Inc(stats.DirtyEvictions)
+	}
+	v.valid = false
+}
+
+// fill completes an LLC miss: install at L3 (with synonym detection), then
+// into each waiting core's private caches, then wake the waiters.
+func (h *Hierarchy) fill(key Key, finish int64) {
+	e, ok := h.mshr[key]
+	if !ok {
+		panic("cache: fill without mshr entry")
+	}
+	delete(h.mshr, key)
+
+	pen := int64(0)
+	anyWrite := false
+	for _, w := range e.waiters {
+		if w.write {
+			anyWrite = true
+		}
+	}
+
+	l3ln, synPen := h.installL3(key, e.cores, anyWrite, e.pin)
+	pen += synPen
+
+	// Apply write effects of the waiters now that crossing state is known.
+	if l3ln != nil && anyWrite {
+		for _, w := range e.waiters {
+			if !w.write {
+				continue
+			}
+			pen += h.crossedWrite(Access{Key: key, WordIdx: w.wordIdx, Write: true}, l3ln)
+		}
+	}
+
+	crossMask := uint8(0)
+	if l3ln != nil {
+		crossMask = l3ln.crossMask
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		if e.cores&(1<<uint(c)) == 0 {
+			continue
+		}
+		a := Access{Core: c, Key: key, Write: anyWrite, Pin: e.pin}
+		h.fillPrivate(h.l2[c], a, crossMask, false)
+		h.fillPrivate(h.l1[c], a, crossMask, false)
+	}
+
+	at := finish + h.cfg.ResponseLatPs + pen
+	for _, w := range e.waiters {
+		h.complete(at, w.done)
+	}
+}
+
+// installL3 places the block in L3, evicting (and possibly writing back) a
+// victim, and runs the synonym detection of §4.3.2: every perpendicular
+// line crossing the new block is looked up; intersections copy the shared
+// word and set crossing bits on both sides.
+func (h *Hierarchy) installL3(key Key, sharers uint32, dirty, pin bool) (*line, int64) {
+	v := h.l3.victim(key, h.geom)
+	if v == nil {
+		h.st.Inc(stats.PinBypasses)
+		return nil, 0
+	}
+	if v.valid {
+		h.evictL3(v)
+	}
+	*v = line{key: key, valid: true, dirty: dirty, pinned: pin, sharers: sharers}
+	h.l3.touch(v)
+	if pin {
+		h.st.Inc(stats.PinnedLines)
+	}
+
+	var pen int64
+	if h.dual && !key.Gather {
+		crossings := h.geom.Crossings(key.Line)
+		myIdx := key.Line.CrossWordIndex()
+		for i, cl := range crossings {
+			ck := RCKey(cl)
+			other := h.l3.probe(ck, h.geom)
+			if other == nil {
+				continue
+			}
+			// Copy the intersecting word so duplicates agree, and set the
+			// crossing bits on both lines.
+			v.crossMask |= 1 << uint(i)
+			other.crossMask |= 1 << uint(myIdx)
+			h.propagateCrossMask(other)
+			pen += h.cfg.SynonymCopyPs
+			h.st.Inc(stats.CrossingDetected)
+			h.st.Inc(stats.CrossingCopies)
+		}
+		if pen > 0 {
+			h.st.Add(stats.OverheadPs, pen)
+		}
+	}
+	return v, pen
+}
+
+// propagateCrossMask pushes an L3 line's updated crossing bits to the
+// private copies recorded in the directory, so that later private write
+// hits see them.
+func (h *Hierarchy) propagateCrossMask(l3 *line) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if l3.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if ln := h.l1[c].probe(l3.key, h.geom); ln != nil {
+			ln.crossMask = l3.crossMask
+		}
+		if ln := h.l2[c].probe(l3.key, h.geom); ln != nil {
+			ln.crossMask = l3.crossMask
+		}
+	}
+}
+
+// evictL3 removes a block from the whole hierarchy: back-invalidates all
+// private copies (inclusive), clears the crossing bits of crossed lines,
+// and writes dirty data back to memory.
+func (h *Hierarchy) evictL3(v *line) {
+	h.st.Inc(stats.Evictions)
+	dirty := v.dirty
+	for c := 0; c < h.cfg.Cores; c++ {
+		if v.sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		if ln := h.l1[c].probe(v.key, h.geom); ln != nil {
+			if ln.dirty {
+				dirty = true
+			}
+			ln.valid = false
+		}
+		if ln := h.l2[c].probe(v.key, h.geom); ln != nil {
+			if ln.dirty {
+				dirty = true
+			}
+			ln.valid = false
+		}
+	}
+
+	if h.dual && !v.key.Gather && v.crossMask != 0 {
+		crossings := h.geom.Crossings(v.key.Line)
+		myIdx := v.key.Line.CrossWordIndex()
+		var pen int64
+		for i, cl := range crossings {
+			if v.crossMask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if other := h.l3.probe(RCKey(cl), h.geom); other != nil {
+				other.crossMask &^= 1 << uint(myIdx)
+				h.propagateCrossMask(other)
+			}
+			pen += h.cfg.CrossClearPs
+			h.st.Inc(stats.CrossingClears)
+		}
+		h.st.Add(stats.OverheadPs, pen)
+	}
+
+	if dirty {
+		h.st.Inc(stats.DirtyEvictions)
+		if !v.key.Gather {
+			h.mem(&MemRequest{
+				Coord:     v.key.Line.Base(),
+				Orient:    v.key.Line.Orient,
+				Write:     true,
+				Writeback: true,
+			})
+		}
+	}
+	v.valid = false
+}
+
+// UnpinAll clears every pin in the hierarchy (the end of a group-caching
+// region, §5).
+func (h *Hierarchy) UnpinAll() {
+	unpin := func(ln *line) { ln.pinned = false }
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1[c].forEach(unpin)
+		h.l2[c].forEach(unpin)
+	}
+	h.l3.forEach(unpin)
+}
+
+// OutstandingMisses reports in-flight MSHR entries (diagnostics).
+func (h *Hierarchy) OutstandingMisses() int { return len(h.mshr) }
+
+// FlushDirty writes every dirty block back to memory (end of run): private
+// dirtiness is folded into L3 first, then each dirty L3 block issues a
+// write-back. Returns the number of write-backs issued.
+func (h *Hierarchy) FlushDirty() int {
+	for c := 0; c < h.cfg.Cores; c++ {
+		fold := func(ln *line) {
+			if !ln.dirty {
+				return
+			}
+			if l3 := h.l3.probe(ln.key, h.geom); l3 != nil {
+				l3.dirty = true
+			}
+			ln.dirty = false
+		}
+		h.l1[c].forEach(fold)
+		h.l2[c].forEach(fold)
+	}
+	n := 0
+	h.l3.forEach(func(ln *line) {
+		if !ln.dirty {
+			return
+		}
+		ln.dirty = false
+		if ln.key.Gather {
+			return
+		}
+		n++
+		h.mem(&MemRequest{
+			Coord:     ln.key.Line.Base(),
+			Orient:    ln.key.Line.Orient,
+			Write:     true,
+			Writeback: true,
+		})
+	})
+	return n
+}

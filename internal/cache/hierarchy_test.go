@@ -1,0 +1,469 @@
+package cache
+
+import (
+	"testing"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/event"
+	"rcnvm/internal/stats"
+)
+
+const memLatPs = 100_000
+
+type fakeMem struct {
+	eng      *event.Engine
+	requests []*MemRequest
+}
+
+func (m *fakeMem) submit(r *MemRequest) {
+	m.requests = append(m.requests, r)
+	if r.Done != nil {
+		m.eng.After(memLatPs, func() { r.Done(m.eng.Now()) })
+	}
+}
+
+func (m *fakeMem) writebacks() int {
+	n := 0
+	for _, r := range m.requests {
+		if r.Writeback {
+			n++
+		}
+	}
+	return n
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.L1Sets, cfg.L1Ways = 2, 2
+	cfg.L2Sets, cfg.L2Ways = 4, 2
+	cfg.L3Sets, cfg.L3Ways = 8, 4
+	return cfg
+}
+
+func newTestHierarchy(t *testing.T, cfg Config, dual bool) (*Hierarchy, *fakeMem, *event.Engine, *stats.Set) {
+	t.Helper()
+	eng := event.New()
+	st := stats.NewSet()
+	mem := &fakeMem{eng: eng}
+	geom := addr.Geometry{
+		ChannelBits: 1, RankBits: 2, BankBits: 3, SubarrayBits: 3,
+		RowBits: 10, ColumnBits: 10, DualAddress: dual,
+	}
+	h := New(cfg, geom, dual, eng, st, mem.submit)
+	return h, mem, eng, st
+}
+
+func rowLine(row, colBase uint32) addr.LineID {
+	return addr.LineID{Orient: addr.Row, Major: uint16(row), Minor: uint16(colBase)}
+}
+
+func colLine(col, rowBase uint32) addr.LineID {
+	return addr.LineID{Orient: addr.Column, Major: uint16(col), Minor: uint16(rowBase)}
+}
+
+// access issues a blocking access and runs the engine; returns completion
+// time.
+func access(t *testing.T, h *Hierarchy, eng *event.Engine, a Access) int64 {
+	t.Helper()
+	var at int64 = -1
+	h.Access(a, func(f int64) { at = f })
+	eng.Run()
+	if at < 0 {
+		t.Fatal("access never completed")
+	}
+	return at
+}
+
+func TestMissThenHits(t *testing.T) {
+	cfg := smallConfig()
+	h, mem, eng, st := newTestHierarchy(t, cfg, true)
+	ln := rowLine(5, 0)
+	a := Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()}
+
+	t1 := access(t, h, eng, a)
+	if len(mem.requests) != 1 {
+		t.Fatalf("mem requests = %d, want 1", len(mem.requests))
+	}
+	if t1 < memLatPs {
+		t.Fatalf("miss completed at %d, before memory latency", t1)
+	}
+	// Second access: L1 hit at L1 latency.
+	start := eng.Now()
+	t2 := access(t, h, eng, a)
+	if t2-start != cfg.L1LatPs {
+		t.Errorf("L1 hit latency = %d, want %d", t2-start, cfg.L1LatPs)
+	}
+	if st.Get(stats.L1Hits) != 1 || st.Get(stats.LLCMisses) != 1 {
+		t.Errorf("hit/miss counters wrong: %s", st)
+	}
+}
+
+func TestL3HitPath(t *testing.T) {
+	cfg := smallConfig()
+	h, _, eng, st := newTestHierarchy(t, cfg, true)
+	ln := rowLine(5, 0)
+	// Core 0 fetches; core 1 then finds it in shared L3.
+	access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	start := eng.Now()
+	t2 := access(t, h, eng, Access{Core: 1, Key: RCKey(ln), MemCoord: ln.Base()})
+	if t2-start != cfg.L3LatPs {
+		t.Errorf("L3 hit latency = %d, want %d", t2-start, cfg.L3LatPs)
+	}
+	if st.Get(stats.L3Hits) != 1 {
+		t.Errorf("L3 hits = %d, want 1", st.Get(stats.L3Hits))
+	}
+	// Core 1 now has private copies: next is an L1 hit.
+	start = eng.Now()
+	t3 := access(t, h, eng, Access{Core: 1, Key: RCKey(ln), MemCoord: ln.Base()})
+	if t3-start != cfg.L1LatPs {
+		t.Errorf("post-L3 L1 hit latency = %d, want %d", t3-start, cfg.L1LatPs)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	cfg := smallConfig()
+	h, mem, eng, st := newTestHierarchy(t, cfg, true)
+	ln := rowLine(9, 8)
+	doneCount := 0
+	h.Access(Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()}, func(int64) { doneCount++ })
+	h.Access(Access{Core: 1, Key: RCKey(ln), MemCoord: ln.Base()}, func(int64) { doneCount++ })
+	eng.Run()
+	if doneCount != 2 {
+		t.Fatalf("completions = %d, want 2", doneCount)
+	}
+	if len(mem.requests) != 1 {
+		t.Fatalf("mem requests = %d, want 1 (merged)", len(mem.requests))
+	}
+	if st.Get(stats.MSHRMerges) != 1 {
+		t.Errorf("mshr merges = %d, want 1", st.Get(stats.MSHRMerges))
+	}
+	// Both cores got private copies.
+	start := eng.Now()
+	t2 := access(t, h, eng, Access{Core: 1, Key: RCKey(ln), MemCoord: ln.Base()})
+	if t2-start != cfg.L1LatPs {
+		t.Errorf("core 1 should hit L1 after merged fill")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L3Sets, cfg.L3Ways = 1, 2 // tiny L3 to force eviction
+	cfg.L1Sets, cfg.L2Sets = 1, 1
+	h, mem, eng, st := newTestHierarchy(t, cfg, true)
+
+	dirty := rowLine(1, 0)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(dirty), MemCoord: dirty.Base(), Write: true})
+	// Fill the (single) L3 set with two more lines: evicts the dirty one.
+	for i := uint32(2); i <= 3; i++ {
+		ln := rowLine(i, 0)
+		access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	}
+	if mem.writebacks() != 1 {
+		t.Fatalf("writebacks = %d, want 1", mem.writebacks())
+	}
+	if st.Get(stats.DirtyEvictions) == 0 {
+		t.Error("dirty eviction not counted")
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L3Sets, cfg.L3Ways = 1, 2
+	h, mem, eng, _ := newTestHierarchy(t, cfg, true)
+
+	first := rowLine(1, 0)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(first), MemCoord: first.Base()})
+	for i := uint32(2); i <= 3; i++ {
+		ln := rowLine(i, 0)
+		access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	}
+	// The first line was evicted from L3, so the L1 copy must be gone too:
+	// accessing it again goes to memory.
+	before := len(mem.requests)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(first), MemCoord: first.Base()})
+	if len(mem.requests) != before+1 {
+		t.Fatal("back-invalidation failed: stale private copy served the access")
+	}
+}
+
+// TestSynonymDetection reproduces Figure 8: a row line and a column line
+// that share one word are both cached; the install of the second must
+// detect the crossing and set crossing bits.
+func TestSynonymDetection(t *testing.T) {
+	cfg := smallConfig()
+	h, _, eng, st := newTestHierarchy(t, cfg, true)
+
+	// Row line: row 437, columns 176..183. Column line: column 182, rows
+	// 432..439. They intersect at (437, 182).
+	rl := rowLine(437, 176)
+	cl := colLine(182, 432)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(rl), MemCoord: rl.Base()})
+	if st.Get(stats.CrossingDetected) != 0 {
+		t.Fatal("no crossing should exist yet")
+	}
+	access(t, h, eng, Access{Core: 0, Key: RCKey(cl), MemCoord: cl.Base()})
+	if st.Get(stats.CrossingDetected) != 1 {
+		t.Fatalf("crossings detected = %d, want 1", st.Get(stats.CrossingDetected))
+	}
+	if st.Get(stats.CrossingCopies) != 1 {
+		t.Errorf("crossing copies = %d, want 1", st.Get(stats.CrossingCopies))
+	}
+	if st.Get(stats.OverheadPs) == 0 {
+		t.Error("synonym overhead not accounted")
+	}
+}
+
+// TestCrossedWriteUpdatesDuplicate: writing the shared word through one
+// orientation must update (here: dirty) the perpendicular cached copy.
+func TestCrossedWriteUpdatesDuplicate(t *testing.T) {
+	cfg := smallConfig()
+	h, mem, eng, st := newTestHierarchy(t, cfg, true)
+
+	rl := rowLine(437, 176)
+	cl := colLine(182, 432)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(rl), MemCoord: rl.Base()})
+	access(t, h, eng, Access{Core: 0, Key: RCKey(cl), MemCoord: cl.Base()})
+
+	// The intersection is word 6 of the row line (column 182 = 176+6).
+	access(t, h, eng, Access{Core: 0, Key: RCKey(rl), MemCoord: rl.Base(), WordIdx: 6, Write: true})
+	if st.Get(stats.CrossingUpdates) != 1 {
+		t.Fatalf("crossing updates = %d, want 1", st.Get(stats.CrossingUpdates))
+	}
+	// Writing a non-crossing word adds no update.
+	access(t, h, eng, Access{Core: 0, Key: RCKey(rl), MemCoord: rl.Base(), WordIdx: 0, Write: true})
+	if st.Get(stats.CrossingUpdates) != 1 {
+		t.Fatalf("non-crossed write must not count a crossing update")
+	}
+	_ = mem
+}
+
+// TestEvictionClearsCrossingBits: evicting a line clears the crossing bits
+// of its crossed lines so later writes there do not pay the update.
+func TestEvictionClearsCrossingBits(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L3Sets, cfg.L3Ways = 1, 2
+	cfg.L1Sets, cfg.L2Sets = 1, 1
+	h, _, eng, st := newTestHierarchy(t, cfg, true)
+
+	rl := rowLine(437, 176)
+	cl := colLine(182, 432)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(rl), MemCoord: rl.Base()})
+	access(t, h, eng, Access{Core: 0, Key: RCKey(cl), MemCoord: cl.Base()})
+	if st.Get(stats.CrossingDetected) != 1 {
+		t.Fatal("setup: crossing not detected")
+	}
+	// Evict the column line by filling the single L3 set (2 ways) with new
+	// lines; the row line may be evicted too, that is fine — we just need
+	// at least one clear.
+	for i := uint32(1); i <= 2; i++ {
+		ln := rowLine(i, 8)
+		access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	}
+	if st.Get(stats.CrossingClears) == 0 {
+		t.Error("eviction did not clear crossing bits")
+	}
+}
+
+// TestCoherenceInvalidation: a write by core 1 to a line shared with core 0
+// invalidates core 0's private copies (directory MESI behaviour).
+func TestCoherenceInvalidation(t *testing.T) {
+	cfg := smallConfig()
+	h, mem, eng, st := newTestHierarchy(t, cfg, true)
+	ln := rowLine(7, 16)
+	k := RCKey(ln)
+	access(t, h, eng, Access{Core: 0, Key: k, MemCoord: ln.Base()})
+	access(t, h, eng, Access{Core: 1, Key: k, MemCoord: ln.Base()})
+	if st.Get(stats.CoherenceInvals) != 0 {
+		t.Fatal("reads alone must not invalidate")
+	}
+	// Core 1 writes: core 0's copy dies.
+	access(t, h, eng, Access{Core: 1, Key: k, MemCoord: ln.Base(), Write: true})
+	if st.Get(stats.CoherenceInvals) == 0 {
+		t.Fatal("write did not invalidate the other sharer")
+	}
+	// Core 0's next access must not be an L1 hit (it is an L3 hit).
+	before := st.Get(stats.L1Hits)
+	beforeMem := len(mem.requests)
+	access(t, h, eng, Access{Core: 0, Key: k, MemCoord: ln.Base()})
+	if st.Get(stats.L1Hits) != before {
+		t.Error("core 0 hit a stale private copy")
+	}
+	if len(mem.requests) != beforeMem {
+		t.Error("L3 should have served the re-read without memory traffic")
+	}
+}
+
+// TestPinningPreventsEviction: pinned lines survive a thrashing stream and
+// installs bypass when a set is fully pinned.
+func TestPinningPreventsEviction(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L3Sets, cfg.L3Ways = 1, 2
+	cfg.L1Sets, cfg.L1Ways = 1, 2
+	cfg.L2Sets, cfg.L2Ways = 1, 2
+	h, mem, eng, st := newTestHierarchy(t, cfg, true)
+
+	p1, p2 := rowLine(1, 0), rowLine(2, 0)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(p1), MemCoord: p1.Base(), Pin: true})
+	access(t, h, eng, Access{Core: 0, Key: RCKey(p2), MemCoord: p2.Base(), Pin: true})
+
+	// Thrash with other lines: all installs must bypass.
+	for i := uint32(10); i < 14; i++ {
+		ln := rowLine(i, 0)
+		access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	}
+	if st.Get(stats.PinBypasses) == 0 {
+		t.Fatal("fully pinned set should bypass installs")
+	}
+	// The pinned lines are still L1 hits.
+	before := len(mem.requests)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(p1), MemCoord: p1.Base()})
+	access(t, h, eng, Access{Core: 0, Key: RCKey(p2), MemCoord: p2.Base()})
+	if len(mem.requests) != before {
+		t.Fatal("pinned lines were evicted")
+	}
+
+	// After UnpinAll, thrashing evicts them again.
+	h.UnpinAll()
+	for i := uint32(20); i < 24; i++ {
+		ln := rowLine(i, 0)
+		access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	}
+	before = len(mem.requests)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(p1), MemCoord: p1.Base()})
+	if len(mem.requests) != before+1 {
+		t.Fatal("unpinned line should have been evicted")
+	}
+}
+
+func TestGatherLinesCached(t *testing.T) {
+	cfg := smallConfig()
+	h, mem, eng, _ := newTestHierarchy(t, cfg, false)
+	k := GatherKey(42)
+	c := addr.Coord{Row: 3}
+	access(t, h, eng, Access{Core: 0, Key: k, MemCoord: c})
+	if len(mem.requests) != 1 || !mem.requests[0].Gather {
+		t.Fatal("gather miss should issue a gather mem request")
+	}
+	before := len(mem.requests)
+	start := eng.Now()
+	t2 := access(t, h, eng, Access{Core: 0, Key: k, MemCoord: c})
+	if len(mem.requests) != before || t2-start != cfg.L1LatPs {
+		t.Fatal("gathered line should hit in L1")
+	}
+	// Distinct pattern IDs are distinct blocks.
+	access(t, h, eng, Access{Core: 0, Key: GatherKey(43), MemCoord: c})
+	if len(mem.requests) != before+1 {
+		t.Fatal("different gather pattern must miss")
+	}
+}
+
+// TestNoSynonymLogicWhenNotDual: on a row-only system the synonym machinery
+// must stay silent even if (buggy) callers cache both orientations.
+func TestNoSynonymLogicWhenNotDual(t *testing.T) {
+	cfg := smallConfig()
+	h, _, eng, st := newTestHierarchy(t, cfg, false)
+	rl := rowLine(437, 176)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(rl), MemCoord: rl.Base()})
+	cl := colLine(182, 432)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(cl), MemCoord: cl.Base()})
+	if st.Get(stats.CrossingDetected) != 0 {
+		t.Fatal("synonym logic ran on a non-dual hierarchy")
+	}
+}
+
+func TestWriteAllocate(t *testing.T) {
+	cfg := smallConfig()
+	h, mem, eng, _ := newTestHierarchy(t, cfg, true)
+	ln := rowLine(3, 24)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base(), Write: true})
+	if len(mem.requests) != 1 || mem.requests[0].Write {
+		t.Fatal("store miss should fetch the line with a read (write-allocate)")
+	}
+	// Subsequent load hits.
+	before := len(mem.requests)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()})
+	if len(mem.requests) != before {
+		t.Fatal("line not resident after write-allocate")
+	}
+}
+
+func TestAccessBadCorePanics(t *testing.T) {
+	cfg := smallConfig()
+	h, _, _, _ := newTestHierarchy(t, cfg, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range core")
+		}
+	}()
+	h.Access(Access{Core: 99, Key: RCKey(rowLine(0, 0))}, func(int64) {})
+}
+
+func TestOutstandingMisses(t *testing.T) {
+	cfg := smallConfig()
+	h, _, eng, _ := newTestHierarchy(t, cfg, true)
+	ln := rowLine(1, 0)
+	h.Access(Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base()}, func(int64) {})
+	if h.OutstandingMisses() != 1 {
+		t.Fatalf("outstanding = %d, want 1", h.OutstandingMisses())
+	}
+	eng.Run()
+	if h.OutstandingMisses() != 0 {
+		t.Fatalf("outstanding after run = %d, want 0", h.OutstandingMisses())
+	}
+}
+
+// TestInvariantsUnderRandomTraffic: random mixed-orientation reads and
+// writes never violate inclusion or crossing symmetry.
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	cfg := smallConfig()
+	h, _, eng, _ := newTestHierarchy(t, cfg, true)
+	seed := uint32(12345)
+	next := func(n uint32) uint32 {
+		seed = seed*1664525 + 1013904223
+		return seed % n
+	}
+	for i := 0; i < 2000; i++ {
+		c := addr.Coord{Row: next(64), Column: next(64)}
+		var key Key
+		var word int
+		if next(2) == 0 {
+			key = RCKey(addr.LineID{Orient: addr.Row, Major: uint16(c.Row), Minor: uint16(c.Column &^ 7)})
+			word = int(c.Column % 8)
+		} else {
+			key = RCKey(addr.LineID{Orient: addr.Column, Major: uint16(c.Column), Minor: uint16(c.Row &^ 7)})
+			word = int(c.Row % 8)
+		}
+		h.Access(Access{
+			Core:     int(next(uint32(cfg.Cores))),
+			Key:      key,
+			MemCoord: key.Line.Base(),
+			WordIdx:  word,
+			Write:    next(4) == 0,
+		}, func(int64) {})
+		if i%97 == 0 {
+			eng.Run()
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("after %d accesses: %v", i, err)
+			}
+		}
+	}
+	eng.Run()
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinnedCount(t *testing.T) {
+	cfg := smallConfig()
+	h, _, eng, _ := newTestHierarchy(t, cfg, true)
+	ln := rowLine(3, 8)
+	access(t, h, eng, Access{Core: 0, Key: RCKey(ln), MemCoord: ln.Base(), Pin: true})
+	if h.PinnedCount() == 0 {
+		t.Fatal("pin not counted")
+	}
+	h.UnpinAll()
+	if h.PinnedCount() != 0 {
+		t.Fatal("unpin incomplete")
+	}
+}

@@ -1,0 +1,75 @@
+package cache
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of the hierarchy and
+// returns the first violation found (nil when consistent). It is meant for
+// tests and debugging, not the simulation fast path.
+//
+// Invariants:
+//  1. Inclusion: every valid line in a private L1/L2 is also valid in L3.
+//  2. Crossing symmetry: if L3 line A has crossing bit i set, the
+//     perpendicular line it names is valid in L3 and carries the
+//     reciprocal bit.
+//  3. Crossing bits only appear on dual-address hierarchies and never on
+//     gathered lines.
+func (h *Hierarchy) CheckInvariants() error {
+	var err error
+	check := func(cond bool, format string, args ...any) {
+		if err == nil && !cond {
+			err = fmt.Errorf(format, args...)
+		}
+	}
+
+	for c := 0; c < h.cfg.Cores; c++ {
+		for _, lv := range []*level{h.l1[c], h.l2[c]} {
+			lv.forEach(func(ln *line) {
+				check(h.l3.probe(ln.key, h.geom) != nil,
+					"inclusion violated: core %d holds %v absent from L3", c, ln.key)
+			})
+		}
+	}
+
+	h.l3.forEach(func(ln *line) {
+		if ln.crossMask == 0 {
+			return
+		}
+		check(h.dual, "crossing bits on a non-dual hierarchy: %v", ln.key)
+		check(!ln.key.Gather, "crossing bits on a gathered line: %v", ln.key)
+		if !h.dual || ln.key.Gather {
+			return
+		}
+		crossings := h.geom.Crossings(ln.key.Line)
+		myIdx := ln.key.Line.CrossWordIndex()
+		for i, cl := range crossings {
+			if ln.crossMask&(1<<uint(i)) == 0 {
+				continue
+			}
+			other := h.l3.probe(RCKey(cl), h.geom)
+			check(other != nil, "crossing bit %d of %v names an absent line", i, ln.key)
+			if other != nil {
+				check(other.crossMask&(1<<uint(myIdx)) != 0,
+					"crossing bit not reciprocal between %v and %v", ln.key, cl)
+			}
+		}
+	})
+
+	return err
+}
+
+// PinnedCount returns the number of currently pinned lines across the
+// hierarchy (diagnostics).
+func (h *Hierarchy) PinnedCount() int {
+	n := 0
+	count := func(ln *line) {
+		if ln.pinned {
+			n++
+		}
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1[c].forEach(count)
+		h.l2[c].forEach(count)
+	}
+	h.l3.forEach(count)
+	return n
+}

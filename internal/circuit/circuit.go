@@ -1,0 +1,147 @@
+// Package circuit provides the analytical circuit-level models behind
+// Figures 4 and 5 of the RC-NVM paper: the area overhead of dual
+// addressability for DRAM (RC-DRAM) versus crossbar NVM (RC-NVM), and the
+// read/write latency overhead of the extra RC-NVM peripheral circuitry.
+//
+// The paper derives these numbers from SPICE simulation of a Panasonic RRAM
+// macro and a scaled Micron DDR3 die. We substitute first-order analytical
+// models calibrated to the anchor points the paper states in prose:
+//
+//   - RC-DRAM always costs more than 2x area (a 2T1C cell plus an extra
+//     word line and bit line per cell), and the overhead grows with the
+//     number of word/bit lines in a mat.
+//   - RC-NVM leaves the crossbar cell array untouched; only peripheral
+//     circuitry (second decoder, sense amplifiers, write drivers, muxes and
+//     the column buffer) is added, so its relative overhead shrinks as the
+//     array grows: below 20% at 512x512 and ~15% for the configuration the
+//     paper evaluates.
+//   - The RC-NVM latency overhead comes from extra multiplexing on the
+//     critical path; it is amortized by cell access and wire delay in
+//     larger arrays: about 15% at 512x512.
+package circuit
+
+import "fmt"
+
+// AreaModel holds the coefficients of the area-overhead models. All
+// overheads are expressed as fractions (0.15 == 15%) of the corresponding
+// baseline (DRAM or plain crossbar NVM) array area.
+type AreaModel struct {
+	// RC-DRAM: a 2T1C cell replaces the 1T1C cell (constant factor) and
+	// the duplicated word/bit lines add wiring that grows with mat width.
+	RCDRAMCellFactor float64 // constant cell-area overhead (>= 2x total area)
+	RCDRAMWireSlope  float64 // additional overhead per word/bit line
+
+	// RC-NVM: cell array unchanged; overhead = extra peripheral area over
+	// total area. Peripheral area grows linearly with the array edge n
+	// while cell area grows with n^2.
+	PeriphPerLine float64 // peripheral units added per word/bit line
+	PeriphFixed   float64 // fixed peripheral units (control, buffers)
+	BasePeriphPer float64 // baseline peripheral units per line (shared)
+}
+
+// DefaultAreaModel returns coefficients calibrated to the paper's anchor
+// points: RC-DRAM >200% everywhere and rising with array size; RC-NVM about
+// 15% at 512x512 mats (the Table 1 configuration) and below 10% at
+// 1024x1024.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		RCDRAMCellFactor: 2.10,
+		RCDRAMWireSlope:  0.0022,
+		// The added column-side periphery is ~63% of the baseline
+		// row-side periphery (hierarchical decoding shares the global
+		// decoders), so the overhead can never exceed duplicating the
+		// periphery even for tiny arrays.
+		PeriphPerLine: 100.8,
+		PeriphFixed:   0,
+		BasePeriphPer: 160,
+	}
+}
+
+// RCDRAMOverhead returns the fractional area overhead of an n x n RC-DRAM
+// mat over a conventional DRAM mat.
+func (m AreaModel) RCDRAMOverhead(n int) float64 {
+	return m.RCDRAMCellFactor + m.RCDRAMWireSlope*float64(n)
+}
+
+// RCNVMOverhead returns the fractional area overhead of an n x n RC-NVM
+// array over a plain crossbar NVM array of the same size.
+func (m AreaModel) RCNVMOverhead(n int) float64 {
+	fn := float64(n)
+	extra := m.PeriphPerLine*fn + m.PeriphFixed
+	base := fn*fn + m.BasePeriphPer*fn
+	return extra / base
+}
+
+// LatencyModel holds the coefficients of the Figure 5 latency-overhead
+// model. The added multiplexers contribute a roughly constant delay, while
+// the baseline access time grows with wire length, i.e. with the array edge.
+type LatencyModel struct {
+	MuxDelay  float64 // constant extra delay (arbitrary units)
+	BaseFixed float64 // sensing and logic delay independent of array size
+	WirePer   float64 // wire delay per word/bit line
+}
+
+// DefaultLatencyModel returns coefficients calibrated so that the overhead
+// is ~15% at 512 lines and approaches the mux-delay floor for very large
+// arrays, matching Figure 5's trend.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		MuxDelay:  1.0,
+		BaseFixed: 1.0,
+		WirePer:   0.011076,
+	}
+}
+
+// Overhead returns the fractional read/write latency overhead of RC-NVM
+// over plain crossbar NVM for an n x n array.
+func (m LatencyModel) Overhead(n int) float64 {
+	return m.MuxDelay / (m.BaseFixed + m.WirePer*float64(n))
+}
+
+// ScaleLatency applies the overhead for an n x n array to a baseline
+// latency (e.g. the Panasonic RRAM 25 ns read becomes ~29 ns for the
+// 512x512 mats of Table 1).
+func (m LatencyModel) ScaleLatency(baseNs float64, n int) float64 {
+	return baseNs * (1 + m.Overhead(n))
+}
+
+// MatsPerSubarray is the Table 1 composition: one RC-NVM subarray is built
+// from four 512x512 mats.
+const MatsPerSubarray = 4
+
+// MatLines is the word/bit line count of one mat in the evaluated
+// configuration.
+const MatLines = 512
+
+// SweepPoint is one x-position of Figures 4 and 5.
+type SweepPoint struct {
+	Lines          int     // word/bit line count of the array
+	RCDRAMOverhead float64 // Figure 4, RC-DRAM over DRAM
+	RCNVMOverhead  float64 // Figure 4, RC-NVM over RRAM
+	LatencyOvh     float64 // Figure 5, RC-NVM latency overhead
+}
+
+// Sweep evaluates both models over the given line counts. With nil input it
+// uses the paper's x-axis {16, 32, 64, 128, 256, 512, 1024}.
+func Sweep(lines []int) []SweepPoint {
+	if lines == nil {
+		lines = []int{16, 32, 64, 128, 256, 512, 1024}
+	}
+	am := DefaultAreaModel()
+	lm := DefaultLatencyModel()
+	out := make([]SweepPoint, len(lines))
+	for i, n := range lines {
+		out[i] = SweepPoint{
+			Lines:          n,
+			RCDRAMOverhead: am.RCDRAMOverhead(n),
+			RCNVMOverhead:  am.RCNVMOverhead(n),
+			LatencyOvh:     lm.Overhead(n),
+		}
+	}
+	return out
+}
+
+func (p SweepPoint) String() string {
+	return fmt.Sprintf("n=%4d  RC-DRAM area +%.0f%%  RC-NVM area +%.1f%%  RC-NVM latency +%.1f%%",
+		p.Lines, p.RCDRAMOverhead*100, p.RCNVMOverhead*100, p.LatencyOvh*100)
+}

@@ -1,0 +1,131 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRCDRAMAlwaysOver200 verifies the paper's claim that RC-DRAM costs more
+// than 2x bit-per-area at every evaluated array size (Figure 4).
+func TestRCDRAMAlwaysOver200(t *testing.T) {
+	m := DefaultAreaModel()
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		if ovh := m.RCDRAMOverhead(n); ovh <= 2.0 {
+			t.Errorf("RC-DRAM overhead at n=%d is %.2f, want > 2.0", n, ovh)
+		}
+	}
+}
+
+// TestRCDRAMGrowsWithLines verifies the "proportional to the number of WLs
+// and BLs" property.
+func TestRCDRAMGrowsWithLines(t *testing.T) {
+	m := DefaultAreaModel()
+	prev := 0.0
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		ovh := m.RCDRAMOverhead(n)
+		if ovh <= prev {
+			t.Errorf("RC-DRAM overhead not increasing at n=%d: %.3f <= %.3f", n, ovh, prev)
+		}
+		prev = ovh
+	}
+}
+
+// TestRCNVMAnchor512 verifies "the overhead drops to less than 20% when the
+// numbers of WL and BLs are 512" and the abstract's 15% figure.
+func TestRCNVMAnchor512(t *testing.T) {
+	m := DefaultAreaModel()
+	ovh := m.RCNVMOverhead(512)
+	if ovh >= 0.20 {
+		t.Errorf("RC-NVM overhead at 512 = %.3f, want < 0.20", ovh)
+	}
+	if math.Abs(ovh-0.15) > 0.02 {
+		t.Errorf("RC-NVM overhead at 512 = %.3f, want ~0.15", ovh)
+	}
+}
+
+// TestRCNVMShrinksWithLines verifies the overhead decreases as the cell
+// array grows.
+func TestRCNVMShrinksWithLines(t *testing.T) {
+	m := DefaultAreaModel()
+	prev := math.Inf(1)
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		ovh := m.RCNVMOverhead(n)
+		if ovh >= prev {
+			t.Errorf("RC-NVM overhead not decreasing at n=%d: %.3f >= %.3f", n, ovh, prev)
+		}
+		if ovh <= 0 {
+			t.Errorf("RC-NVM overhead at n=%d not positive: %.3f", n, ovh)
+		}
+		prev = ovh
+	}
+}
+
+// TestRCNVMBeatsRCDRAMEverywhere: the central circuit-level argument of the
+// paper is that dual addressing is only practical on crossbar NVM.
+func TestRCNVMBeatsRCDRAMEverywhere(t *testing.T) {
+	m := DefaultAreaModel()
+	for n := 16; n <= 2048; n *= 2 {
+		if m.RCNVMOverhead(n) >= m.RCDRAMOverhead(n) {
+			t.Errorf("at n=%d RC-NVM overhead %.3f >= RC-DRAM %.3f",
+				n, m.RCNVMOverhead(n), m.RCDRAMOverhead(n))
+		}
+	}
+}
+
+// TestLatencyAnchor512 verifies "when the numbers of WL and BLs are 512, the
+// timing overhead is just about 15%" (Figure 5).
+func TestLatencyAnchor512(t *testing.T) {
+	m := DefaultLatencyModel()
+	ovh := m.Overhead(512)
+	if math.Abs(ovh-0.15) > 0.02 {
+		t.Errorf("latency overhead at 512 = %.3f, want ~0.15", ovh)
+	}
+}
+
+func TestLatencyDecreasing(t *testing.T) {
+	m := DefaultLatencyModel()
+	prev := math.Inf(1)
+	for n := 16; n <= 1200; n += 16 {
+		ovh := m.Overhead(n)
+		if ovh >= prev {
+			t.Fatalf("latency overhead not decreasing at n=%d", n)
+		}
+		if ovh <= 0 || ovh > 1.0 {
+			t.Fatalf("latency overhead at n=%d out of (0,1]: %.3f", n, ovh)
+		}
+		prev = ovh
+	}
+}
+
+// TestScaleLatencyMatchesTable1 checks that scaling the Panasonic RRAM read
+// latency (25 ns) by the 512-line overhead lands near the 29 ns RC-NVM read
+// access time of Table 1.
+func TestScaleLatencyMatchesTable1(t *testing.T) {
+	m := DefaultLatencyModel()
+	got := m.ScaleLatency(25, MatLines)
+	if got < 28 || got > 30 {
+		t.Errorf("scaled read latency = %.2f ns, want ~29 ns", got)
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	pts := Sweep(nil)
+	if len(pts) != 7 {
+		t.Fatalf("default sweep has %d points, want 7", len(pts))
+	}
+	if pts[0].Lines != 16 || pts[6].Lines != 1024 {
+		t.Fatalf("sweep endpoints = %d..%d, want 16..1024", pts[0].Lines, pts[6].Lines)
+	}
+	for _, p := range pts {
+		if p.String() == "" {
+			t.Fatal("empty sweep point string")
+		}
+	}
+}
+
+func TestSweepCustom(t *testing.T) {
+	pts := Sweep([]int{100, 200})
+	if len(pts) != 2 || pts[0].Lines != 100 || pts[1].Lines != 200 {
+		t.Fatalf("custom sweep wrong: %+v", pts)
+	}
+}

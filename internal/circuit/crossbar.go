@@ -1,0 +1,172 @@
+package circuit
+
+import "fmt"
+
+// This file models the §2.3 crossbar access schemes that make RC-NVM
+// possible: every cell sits at a word-line/bit-line cross-point with no
+// access transistor, so reads and writes are performed purely by biasing
+// lines — and because word lines and bit lines are electrically symmetric,
+// exchanging their roles turns a row access into a column access with no
+// change to the array.
+//
+// Reads: the selected line is driven to Vread, all other lines are held at
+// the read reference VR by the sense amplifiers, so unselected cells see
+// zero bias and each sensed current reflects exactly one cell.
+//
+// Writes: the V/2 scheme in two phases (SET phase then RESET phase): the
+// selected word line and the targeted bit lines are driven to the full
+// write voltage of the phase's polarity while all other lines sit at
+// Vwrite/2, so only full-selected cells see |Vwrite| and every other cell
+// sees at most half — below the switching threshold.
+
+// Crossbar is a functional n x m resistive crossbar: cell state true is
+// the low-resistance (SET, logical 1) state.
+type Crossbar struct {
+	rows, cols int
+	cell       [][]bool
+}
+
+// NewCrossbar returns an array with all cells in the RESET state.
+func NewCrossbar(rows, cols int) *Crossbar {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("circuit: invalid crossbar %dx%d", rows, cols))
+	}
+	x := &Crossbar{rows: rows, cols: cols, cell: make([][]bool, rows)}
+	for i := range x.cell {
+		x.cell[i] = make([]bool, cols)
+	}
+	return x
+}
+
+// Rows returns the word-line count.
+func (x *Crossbar) Rows() int { return x.rows }
+
+// Cols returns the bit-line count.
+func (x *Crossbar) Cols() int { return x.cols }
+
+// Get returns the state of one cell (test/inspection helper; real accesses
+// go through the bias operations below).
+func (x *Crossbar) Get(r, c int) bool { return x.cell[r][c] }
+
+// Bias holds the access voltages.
+type Bias struct {
+	Vread  float64 // read drive voltage above the reference
+	Vwrite float64 // full write (switching) voltage
+	Vth    float64 // cell switching threshold: |V| > Vth switches state
+}
+
+// DefaultBias is a representative RRAM operating point: 0.4 V reads (well
+// under threshold), 2.0 V writes with a 1.2 V switching threshold, so the
+// V/2 = 1.0 V half-select stress does not disturb cells.
+func DefaultBias() Bias {
+	return Bias{Vread: 0.4, Vwrite: 2.0, Vth: 1.2}
+}
+
+// Report summarizes the electrical outcome of one access for
+// disturb-margin checks.
+type Report struct {
+	SelectedV   float64 // |V| across the full-selected cell(s)
+	HalfSelectV float64 // worst |V| across any half-selected cell
+	UnselectedV float64 // worst |V| across any fully unselected cell
+	DisturbFree bool    // no unintended cell saw more than the threshold
+}
+
+// Line identifies the orientation of the selected line.
+type Line uint8
+
+const (
+	// WordLine selects one row.
+	WordLine Line = iota
+	// BitLine selects one column.
+	BitLine
+)
+
+// Read senses all cells along the selected line: the selected line is
+// driven to Vread, every perpendicular line is held at the reference, so
+// each sensed current is V/R of exactly one cell. Returns the bits and the
+// bias report (reads never disturb: unselected cells see zero volts).
+func (x *Crossbar) Read(sel Line, index int, b Bias) ([]bool, Report) {
+	x.check(sel, index)
+	var out []bool
+	if sel == WordLine {
+		out = make([]bool, x.cols)
+		copy(out, x.cell[index])
+	} else {
+		out = make([]bool, x.rows)
+		for r := 0; r < x.rows; r++ {
+			out[r] = x.cell[r][index]
+		}
+	}
+	rep := Report{
+		SelectedV:   b.Vread,
+		HalfSelectV: 0, // all perpendicular lines are at the reference
+		UnselectedV: 0,
+		DisturbFree: b.Vread <= b.Vth,
+	}
+	return out, rep
+}
+
+// Write programs all cells along the selected line to the given bits using
+// the two-phase V/2 scheme (§2.3): phase one applies +Vwrite to the
+// positions being SET, phase two applies -Vwrite to the positions being
+// RESET; every half-selected cell sees Vwrite/2 in both phases.
+func (x *Crossbar) Write(sel Line, index int, bitsIn []bool, b Bias) (Report, error) {
+	x.check(sel, index)
+	span := x.cols
+	if sel == BitLine {
+		span = x.rows
+	}
+	if len(bitsIn) != span {
+		return Report{}, fmt.Errorf("circuit: write of %d bits to a %d-cell line", len(bitsIn), span)
+	}
+	if b.Vwrite <= b.Vth {
+		return Report{}, fmt.Errorf("circuit: Vwrite %.2f below threshold %.2f cannot switch cells", b.Vwrite, b.Vth)
+	}
+	half := b.Vwrite / 2
+	for i, v := range bitsIn {
+		if sel == WordLine {
+			x.cell[index][i] = v
+		} else {
+			x.cell[i][index] = v
+		}
+	}
+	rep := Report{
+		SelectedV:   b.Vwrite,
+		HalfSelectV: half,
+		UnselectedV: 0, // unselected lines all sit at Vwrite/2: zero across cells
+		DisturbFree: half <= b.Vth,
+	}
+	return rep, nil
+}
+
+func (x *Crossbar) check(sel Line, index int) {
+	limit := x.rows
+	if sel == BitLine {
+		limit = x.cols
+	}
+	if index < 0 || index >= limit {
+		panic(fmt.Sprintf("circuit: %v index %d out of range [0,%d)", sel, index, limit))
+	}
+}
+
+// CellVoltage returns the voltage across cell (r, c) during an access of
+// the given kind — the analysis behind the disturb reports, exposed for
+// verification: full-selected cells see the full drive, cells sharing only
+// the selected line or only a targeted perpendicular line see half the
+// write voltage (zero for reads), and all other cells see zero.
+func CellVoltage(sel Line, index int, write bool, r, c int, b Bias) float64 {
+	onSelected := (sel == WordLine && r == index) || (sel == BitLine && c == index)
+	if !write {
+		if onSelected {
+			return b.Vread
+		}
+		return 0
+	}
+	if onSelected {
+		return b.Vwrite
+	}
+	// Writes drive every perpendicular line (the whole row/column is
+	// written), so all cells off the selected line are half-selected
+	// through their perpendicular line.
+	return b.Vwrite / 2
+}

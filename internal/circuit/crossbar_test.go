@@ -1,0 +1,184 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossbarRowColSymmetry(t *testing.T) {
+	x := NewCrossbar(8, 32)
+	b := DefaultBias()
+	// Write a row, then read the crossing columns: each column's bit at
+	// the written row must match — the §2.3 symmetry that makes RC-NVM
+	// possible.
+	rowBits := make([]bool, 32)
+	for i := range rowBits {
+		rowBits[i] = i%3 == 0
+	}
+	if _, err := x.Write(WordLine, 5, rowBits, b); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 32; c++ {
+		col, _ := x.Read(BitLine, c, b)
+		if col[5] != rowBits[c] {
+			t.Fatalf("column %d row 5 = %v, want %v", c, col[5], rowBits[c])
+		}
+	}
+	// And the row read agrees with itself.
+	row, _ := x.Read(WordLine, 5, b)
+	for i := range row {
+		if row[i] != rowBits[i] {
+			t.Fatalf("row readback mismatch at %d", i)
+		}
+	}
+}
+
+func TestCrossbarColumnWrite(t *testing.T) {
+	x := NewCrossbar(16, 16)
+	b := DefaultBias()
+	colBits := make([]bool, 16)
+	for i := range colBits {
+		colBits[i] = i%2 == 1
+	}
+	if _, err := x.Write(BitLine, 7, colBits, b); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		row, _ := x.Read(WordLine, r, b)
+		if row[7] != colBits[r] {
+			t.Fatalf("row %d col 7 = %v, want %v", r, row[7], colBits[r])
+		}
+	}
+}
+
+// TestHalfSelectDisturbMargin: the V/2 scheme exposes at most Vwrite/2 to
+// any cell not being written, which stays below the switching threshold.
+func TestHalfSelectDisturbMargin(t *testing.T) {
+	x := NewCrossbar(8, 8)
+	b := DefaultBias()
+	rep, err := x.Write(WordLine, 3, make([]bool, 8), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SelectedV != b.Vwrite {
+		t.Errorf("selected cell sees %.2f V, want %.2f", rep.SelectedV, b.Vwrite)
+	}
+	if rep.HalfSelectV != b.Vwrite/2 {
+		t.Errorf("half-selected cell sees %.2f V, want %.2f", rep.HalfSelectV, b.Vwrite/2)
+	}
+	if !rep.DisturbFree {
+		t.Error("default bias must be disturb-free")
+	}
+	// A too-low threshold makes the half-select stress a disturb.
+	weak := b
+	weak.Vth = 0.9
+	rep, err = x.Write(WordLine, 3, make([]bool, 8), weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DisturbFree {
+		t.Error("Vth below Vwrite/2 must be flagged as a disturb risk")
+	}
+}
+
+// TestReadsNeverDisturb: reads bias unselected cells at zero volts.
+func TestReadsNeverDisturb(t *testing.T) {
+	x := NewCrossbar(8, 8)
+	_, rep := x.Read(WordLine, 0, DefaultBias())
+	if rep.HalfSelectV != 0 || rep.UnselectedV != 0 || !rep.DisturbFree {
+		t.Errorf("read bias report %+v, want zero stress", rep)
+	}
+}
+
+// TestReadsAreNonDestructive: reading in both orientations leaves the
+// array unchanged.
+func TestReadsAreNonDestructive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := NewCrossbar(8, 8)
+		b := DefaultBias()
+		for r := 0; r < 8; r++ {
+			bits := make([]bool, 8)
+			for i := range bits {
+				bits[i] = rng.Intn(2) == 1
+			}
+			if _, err := x.Write(WordLine, r, bits, b); err != nil {
+				return false
+			}
+		}
+		before := snapshot(x)
+		for r := 0; r < 8; r++ {
+			x.Read(WordLine, r, b)
+		}
+		for c := 0; c < 8; c++ {
+			x.Read(BitLine, c, b)
+		}
+		return snapshot(x) == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func snapshot(x *Crossbar) [64]bool {
+	var s [64]bool
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			s[r*8+c] = x.Get(r, c)
+		}
+	}
+	return s
+}
+
+func TestCellVoltageAnalysis(t *testing.T) {
+	b := DefaultBias()
+	// Read of word line 2: selected row cells see Vread, everything else 0.
+	if v := CellVoltage(WordLine, 2, false, 2, 5, b); v != b.Vread {
+		t.Errorf("selected read cell sees %v", v)
+	}
+	if v := CellVoltage(WordLine, 2, false, 3, 5, b); v != 0 {
+		t.Errorf("unselected read cell sees %v", v)
+	}
+	// Write of bit line 4: selected column full voltage, others half.
+	if v := CellVoltage(BitLine, 4, true, 1, 4, b); v != b.Vwrite {
+		t.Errorf("selected write cell sees %v", v)
+	}
+	if v := CellVoltage(BitLine, 4, true, 1, 3, b); v != b.Vwrite/2 {
+		t.Errorf("half-selected write cell sees %v", v)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	x := NewCrossbar(4, 4)
+	if _, err := x.Write(WordLine, 0, make([]bool, 3), DefaultBias()); err == nil {
+		t.Error("wrong width accepted")
+	}
+	weak := DefaultBias()
+	weak.Vwrite = 1.0 // below threshold: cannot switch
+	if _, err := x.Write(WordLine, 0, make([]bool, 4), weak); err == nil {
+		t.Error("sub-threshold write voltage accepted")
+	}
+}
+
+func TestCrossbarBounds(t *testing.T) {
+	x := NewCrossbar(4, 8)
+	if x.Rows() != 4 || x.Cols() != 8 {
+		t.Fatal("dimensions wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range read did not panic")
+		}
+	}()
+	x.Read(WordLine, 4, DefaultBias())
+}
+
+func TestNewCrossbarInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid dimensions accepted")
+		}
+	}()
+	NewCrossbar(0, 5)
+}

@@ -1,0 +1,97 @@
+package config
+
+import (
+	"testing"
+
+	"rcnvm/internal/device"
+)
+
+func TestAllSystems(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() returned %d systems, want 4", len(all))
+	}
+	wantKinds := []device.Kind{device.RCNVM, device.RRAM, device.GSDRAM, device.DRAM}
+	for i, s := range all {
+		if s.Device.Kind != wantKinds[i] {
+			t.Errorf("system %d kind = %v, want %v", i, s.Device.Kind, wantKinds[i])
+		}
+		if s.CPU.Cores != s.Cache.Cores {
+			t.Errorf("%s: cpu cores %d != cache cores %d", s.Name, s.CPU.Cores, s.Cache.Cores)
+		}
+		if s.MemWindow != 32 {
+			t.Errorf("%s: mem window = %d, want 32", s.Name, s.MemWindow)
+		}
+	}
+}
+
+// TestSensitivityBaselineMatchesTable1: the (25 ns, 10 ns) sensitivity point
+// must reproduce the Table 1 timings exactly.
+func TestSensitivityBaselineMatchesTable1(t *testing.T) {
+	r := RRAMAt(25, 10)
+	if r.Device.Timing != device.RRAMTiming() {
+		t.Errorf("RRAMAt(25,10) timing = %+v, want Table 1 RRAM", r.Device.Timing)
+	}
+	rc := RCNVMAt(25, 10)
+	if rc.Device.Timing != device.RCNVMTiming() {
+		t.Errorf("RCNVMAt(25,10) timing = %+v, want Table 1 RC-NVM", rc.Device.Timing)
+	}
+}
+
+func TestSensitivityScaling(t *testing.T) {
+	pts := SensitivityPoints()
+	if len(pts) != 5 || pts[0] != [2]float64{12.5, 5} || pts[4] != [2]float64{200, 80} {
+		t.Fatalf("sensitivity points wrong: %v", pts)
+	}
+	prev := int64(0)
+	for _, p := range pts {
+		s := RCNVMAt(p[0], p[1])
+		if s.Device.Timing.RCDPs() <= prev {
+			t.Errorf("tRCD not increasing across sweep at %v", p)
+		}
+		prev = s.Device.Timing.RCDPs()
+		// RC-NVM write pulse carries the 1.5x circuit overhead.
+		if got, want := s.Device.Timing.WritePulsePs, int64(p[1]*1.5*1000); got != want {
+			t.Errorf("write pulse at %v = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestRCNVMAtMinimumClamp(t *testing.T) {
+	s := RCNVMAt(0.5, 0.1)
+	if s.Device.Timing.TRCD < 1 {
+		t.Errorf("tRCD clamped wrong: %d", s.Device.Timing.TRCD)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if DRAM().Name != "DRAM" || RCNVM().Name != "RC-NVM" {
+		t.Errorf("preset names wrong: %q %q", DRAM().Name, RCNVM().Name)
+	}
+	if RCNVMAt(50, 20).Name == RCNVM().Name {
+		t.Error("sensitivity system should carry its latencies in the name")
+	}
+}
+
+func TestTechnologyPresets(t *testing.T) {
+	techs := Technologies()
+	if len(techs) != 4 {
+		t.Fatalf("technologies = %d, want 4", len(techs))
+	}
+	pcm := RCPCM()
+	xp := RCXPoint()
+	if pcm.Device.Timing.RCDPs() <= RCNVM().Device.Timing.RCDPs() {
+		t.Error("PCM read should be slower than RRAM")
+	}
+	if xp.Device.Timing.RCDPs() <= pcm.Device.Timing.RCDPs() {
+		t.Error("3D XPoint read should be slower than PCM")
+	}
+	if xp.Device.Timing.WritePulsePs != 450_000 {
+		t.Errorf("3DXP write pulse = %d, want 300ns x 1.5 circuit overhead", xp.Device.Timing.WritePulsePs)
+	}
+	for _, s := range techs[:3] {
+		if !s.Device.SupportsColumn() {
+			t.Errorf("%s must support column access", s.Name)
+		}
+	}
+}

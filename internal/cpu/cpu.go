@@ -1,0 +1,211 @@
+// Package cpu implements the trace-driven multicore front end of the
+// simulator. Each core executes its op stream in program order, issuing one
+// op per CPU cycle, with up to Window outstanding memory operations — a
+// simple model of the memory-level parallelism an out-of-order core
+// extracts. Compute ops advance the core's clock without occupying a miss
+// slot; barriers drain outstanding misses (used at dependent phase
+// boundaries such as scan -> fetch).
+package cpu
+
+import (
+	"fmt"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/cache"
+	"rcnvm/internal/event"
+	"rcnvm/internal/stats"
+	"rcnvm/internal/trace"
+)
+
+// Config parameterizes the cores.
+type Config struct {
+	Cores      int
+	Window     int   // max outstanding memory ops per core
+	CyclePs    int64 // CPU clock period (500 ps at the paper's 2 GHz)
+	IssueDelay int64 // cycles consumed issuing one op
+	// OrderedWindow is the outstanding-ops bound for Ordered accesses
+	// (strictly-ordered consumption has data/control dependencies that
+	// defeat the full out-of-order window).
+	OrderedWindow int
+}
+
+// DefaultConfig matches Table 1: 4 cores at 2.0 GHz. The window of 8
+// approximates the MLP of a modern out-of-order core.
+func DefaultConfig() Config {
+	return Config{Cores: 4, Window: 8, CyclePs: 500, IssueDelay: 1, OrderedWindow: 2}
+}
+
+// Runner executes one trace stream per core against a cache hierarchy.
+type Runner struct {
+	cfg  Config
+	eng  *event.Engine
+	hier *cache.Hierarchy
+	geom addr.Geometry
+	st   *stats.Set
+
+	cores    []*coreState
+	running  int
+	FinishAt int64 // time the last core retired its last op
+
+	// Latency collects the issue-to-completion time of every demand
+	// memory operation (software prefetches excluded).
+	Latency *stats.Histogram
+}
+
+type coreState struct {
+	id            int
+	ops           trace.Stream
+	pc            int
+	outstanding   int
+	blocked       bool // waiting for a slot or a barrier
+	blockedSince  int64
+	stepScheduled bool
+	done          bool
+}
+
+// NewRunner builds a runner over the hierarchy.
+func NewRunner(cfg Config, eng *event.Engine, hier *cache.Hierarchy, geom addr.Geometry, st *stats.Set) *Runner {
+	r := &Runner{cfg: cfg, eng: eng, hier: hier, geom: geom, st: st, Latency: stats.NewHistogram()}
+	for i := 0; i < cfg.Cores; i++ {
+		r.cores = append(r.cores, &coreState{id: i})
+	}
+	return r
+}
+
+// SetStream assigns the op stream of one core. Must be called before Start.
+func (r *Runner) SetStream(core int, ops trace.Stream) {
+	r.cores[core].ops = ops
+}
+
+// Start schedules the initial issue event of every core that has work.
+func (r *Runner) Start() {
+	for _, c := range r.cores {
+		if len(c.ops) == 0 {
+			c.done = true
+			continue
+		}
+		r.running++
+		r.scheduleStep(c, r.eng.Now())
+	}
+}
+
+// Done reports whether every core has retired its stream.
+func (r *Runner) Done() bool { return r.running == 0 }
+
+func (r *Runner) scheduleStep(c *coreState, at int64) {
+	if c.stepScheduled || c.done {
+		return
+	}
+	c.stepScheduled = true
+	r.eng.At(at, func() {
+		c.stepScheduled = false
+		r.step(c)
+	})
+}
+
+// step issues ops until the core blocks (window full / barrier) or the
+// stream ends.
+func (r *Runner) step(c *coreState) {
+	for {
+		if c.pc >= len(c.ops) {
+			if c.outstanding == 0 && !c.done {
+				c.done = true
+				r.running--
+				if r.eng.Now() > r.FinishAt {
+					r.FinishAt = r.eng.Now()
+				}
+			}
+			return
+		}
+		op := c.ops[c.pc]
+		switch op.Kind {
+		case trace.Compute:
+			c.pc++
+			r.st.Inc(stats.OpsExecuted)
+			d := op.Cycles * r.cfg.CyclePs
+			r.st.Add(stats.ComputePs, d)
+			r.scheduleStep(c, r.eng.Now()+d)
+			return
+		case trace.Barrier:
+			if c.outstanding > 0 {
+				r.block(c)
+				return
+			}
+			c.pc++
+			r.st.Inc(stats.OpsExecuted)
+			continue
+		case trace.UnpinAll:
+			c.pc++
+			r.st.Inc(stats.OpsExecuted)
+			r.hier.UnpinAll()
+			continue
+		case trace.Load, trace.Store, trace.CLoad, trace.CStore, trace.Gather:
+			// Pinned (group-caching) prefetches retire at issue like
+			// software prefetch instructions: they do not occupy a miss
+			// slot, but barriers still wait for their completion.
+			window := r.cfg.Window
+			if op.Ordered && r.cfg.OrderedWindow > 0 && r.cfg.OrderedWindow < window {
+				window = r.cfg.OrderedWindow
+			}
+			if !op.Pin && c.outstanding >= window {
+				r.block(c)
+				return
+			}
+			c.pc++
+			c.outstanding++
+			r.st.Inc(stats.OpsExecuted)
+			r.issueMem(c, op)
+			// Issue bandwidth: one op per IssueDelay cycles.
+			r.scheduleStep(c, r.eng.Now()+r.cfg.IssueDelay*r.cfg.CyclePs)
+			return
+		default:
+			panic(fmt.Sprintf("cpu: unknown op kind %v", op.Kind))
+		}
+	}
+}
+
+func (r *Runner) block(c *coreState) {
+	if !c.blocked {
+		c.blocked = true
+		c.blockedSince = r.eng.Now()
+	}
+}
+
+func (r *Runner) unblock(c *coreState) {
+	if c.blocked {
+		c.blocked = false
+		r.st.Add(stats.StallPs, r.eng.Now()-c.blockedSince)
+	}
+	r.scheduleStep(c, r.eng.Now())
+}
+
+// issueMem translates the op into a cache access.
+func (r *Runner) issueMem(c *coreState, op trace.Op) {
+	var a cache.Access
+	a.Core = c.id
+	a.Write = op.Kind.IsWrite()
+	a.Pin = op.Pin
+	if op.Kind == trace.Gather {
+		a.Key = cache.GatherKey(op.GatherID)
+		a.MemCoord = op.Coord
+	} else {
+		o := op.Kind.Orientation()
+		lineID := r.geom.LineOf(op.Coord, o)
+		a.Key = cache.RCKey(lineID)
+		a.MemCoord = lineID.Base()
+		if o == addr.Row {
+			a.WordIdx = int(op.Coord.Column) % addr.LineWords
+		} else {
+			a.WordIdx = int(op.Coord.Row) % addr.LineWords
+		}
+	}
+	start := r.eng.Now()
+	demand := !op.Pin
+	r.hier.Access(a, func(finish int64) {
+		if demand {
+			r.Latency.Observe(finish - start)
+		}
+		c.outstanding--
+		r.unblock(c)
+	})
+}

@@ -1,0 +1,102 @@
+package device
+
+import "rcnvm/internal/addr"
+
+// The geometries and timing presets below are Table 1 of the paper,
+// verbatim: DDR3-1333 DRAM (Micron 4Gb die scaled to a 4 GB system),
+// LPDDR3-800 RRAM (Panasonic macro parameters), and RC-NVM (RRAM plus the
+// ~15% circuit-level latency overhead of the 512x512-mat dual-access
+// design: tRCD 10->12, write pulse 10 ns -> 15 ns).
+
+// DRAMGeometry is the DDR3 configuration: 2 channels, 2 ranks, 8 banks,
+// 65536 rows x 256 word columns (2048-byte row buffer), 4 GB total.
+func DRAMGeometry() addr.Geometry {
+	return addr.Geometry{
+		ChannelBits: 1,
+		RankBits:    1,
+		BankBits:    3,
+		RowBits:     16,
+		ColumnBits:  8,
+		// Conventional controllers interleave sequential data across
+		// channels and banks at row-buffer granularity.
+		Interleaved: true,
+	}
+}
+
+// NVMGeometry is the RRAM / RC-NVM configuration: 2 channels, 4 ranks,
+// 8 banks, 8 subarrays of 1024x1024 8-byte words (8192-byte row and column
+// buffers), 4 GB total.
+func NVMGeometry(dual bool) addr.Geometry {
+	return addr.Geometry{
+		ChannelBits:  1,
+		RankBits:     2,
+		BankBits:     3,
+		SubarrayBits: 3,
+		RowBits:      10,
+		ColumnBits:   10,
+		DualAddress:  dual,
+	}
+}
+
+// DRAMTiming is DDR3-1333: tCAS 10, tRCD 9, tRP 9, tRAS 24 at a 1.5 ns
+// command clock (~14 ns access time).
+func DRAMTiming() Timing {
+	return Timing{
+		ClockPs: 1500,
+		TCAS:    10,
+		TRCD:    9,
+		TRP:     9,
+		TRAS:    24,
+		// 64 ms / 8192 rows-per-refresh-command spread over the device:
+		// one REF per bank every 7.8 us, blocking it for tRFC = 260 ns.
+		RefreshIntervalPs: 7_800_000,
+		RefreshPs:         260_000,
+	}
+}
+
+// RRAMTiming is LPDDR3-800: tCAS 6, tRCD 10, tRP 1, tRAS 0 at a 2.5 ns
+// clock (25 ns read access), 10 ns cell write pulse.
+func RRAMTiming() Timing {
+	return Timing{
+		ClockPs:      2500,
+		TCAS:         6,
+		TRCD:         10,
+		TRP:          1,
+		TRAS:         0,
+		WritePulsePs: 10_000,
+	}
+}
+
+// RCNVMTiming is RRAM plus the dual-access circuit overhead: tRCD 12
+// (~29 ns read access), 15 ns write pulse.
+func RCNVMTiming() Timing {
+	return Timing{
+		ClockPs:      2500,
+		TCAS:         6,
+		TRCD:         12,
+		TRP:          1,
+		TRAS:         0,
+		WritePulsePs: 15_000,
+	}
+}
+
+// DRAMConfig returns the conventional DRAM device of Table 1.
+func DRAMConfig() Config {
+	return Config{Name: "ddr3-1333", Kind: DRAM, Geom: DRAMGeometry(), Timing: DRAMTiming()}
+}
+
+// RRAMConfig returns the plain (row-only) RRAM device of Table 1.
+func RRAMConfig() Config {
+	return Config{Name: "rram-lpddr3", Kind: RRAM, Geom: NVMGeometry(false), Timing: RRAMTiming()}
+}
+
+// RCNVMConfig returns the proposed RC-NVM device of Table 1.
+func RCNVMConfig() Config {
+	return Config{Name: "rc-nvm", Kind: RCNVM, Geom: NVMGeometry(true), Timing: RCNVMTiming()}
+}
+
+// GSDRAMConfig returns the GS-DRAM comparator: DRAM geometry and timing
+// with in-row gather support.
+func GSDRAMConfig() Config {
+	return Config{Name: "gs-dram", Kind: GSDRAM, Geom: DRAMGeometry(), Timing: DRAMTiming()}
+}

@@ -1,0 +1,190 @@
+// Package ecc implements the SECDED (single-error-correction,
+// double-error-detection) Hamming code the paper deploys on RC-NVM DIMMs:
+// §4.1 adds one extra chip per rank, widening the 64-bit memory bus to 72
+// bits exactly like commodity ECC DRAM. This is the standard (72,64)
+// Hamming code with an overall parity bit.
+//
+// Layout: the 64 data bits are protected by 7 Hamming check bits placed at
+// the power-of-two positions of a 1-indexed 71-bit codeword, plus one
+// overall parity bit, for 72 bits total. Decoding corrects any single-bit
+// error (in data or check bits) and detects any double-bit error.
+package ecc
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// CheckBits is the number of Hamming check bits for 64 data bits.
+const CheckBits = 7
+
+// CodewordBits is the total encoded width: 64 data + 7 check + 1 overall
+// parity = the 72-bit ECC DIMM bus.
+const CodewordBits = 72
+
+// Codeword is one encoded 64-bit word. Bit i of the codeword is bit i of
+// Lo for i < 64 and bit (i-64) of Hi otherwise.
+type Codeword struct {
+	Lo uint64 // codeword bits 0..63
+	Hi uint8  // codeword bits 64..71 (high check bits + overall parity)
+}
+
+// Result classifies a decode.
+type Result uint8
+
+const (
+	// OK means the codeword was clean.
+	OK Result = iota
+	// Corrected means a single-bit error was found and corrected.
+	Corrected
+	// Detected means an uncorrectable (double-bit) error was detected.
+	Detected
+)
+
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return "invalid"
+	}
+}
+
+// ErrUncorrectable is returned when decoding detects a double-bit error.
+var ErrUncorrectable = errors.New("ecc: uncorrectable (double-bit) error")
+
+// dataPosition maps data bit d (0..63) to its 1-indexed position in the
+// 71-bit Hamming codeword (skipping the power-of-two check positions).
+var dataPosition [64]int
+
+// positionOfData is the inverse: codeword position -> data bit index, or
+// -1 for check positions.
+var positionOfData [72]int
+
+func init() {
+	d := 0
+	for pos := 1; pos <= 71 && d < 64; pos++ {
+		positionOfData[pos] = -1
+		if pos&(pos-1) == 0 {
+			continue // power of two: check bit
+		}
+		dataPosition[d] = pos
+		positionOfData[pos] = d
+		d++
+	}
+}
+
+// Encode produces the 72-bit codeword of a 64-bit data word.
+func Encode(data uint64) Codeword {
+	var syndrome int
+	for d := 0; d < 64; d++ {
+		if data>>uint(d)&1 == 1 {
+			syndrome ^= dataPosition[d]
+		}
+	}
+	// Assemble the 71-bit Hamming codeword: data bits at their positions,
+	// check bit c at position 1<<c equal to the c-th syndrome bit.
+	var lo uint64
+	var hi uint8
+	set := func(pos int) {
+		// Codeword bit index = pos-1 (positions are 1-indexed).
+		if pos-1 < 64 {
+			lo |= 1 << uint(pos-1)
+		} else {
+			hi |= 1 << uint(pos-1-64)
+		}
+	}
+	for d := 0; d < 64; d++ {
+		if data>>uint(d)&1 == 1 {
+			set(dataPosition[d])
+		}
+	}
+	for c := 0; c < CheckBits; c++ {
+		if syndrome>>uint(c)&1 == 1 {
+			set(1 << uint(c))
+		}
+	}
+	// Overall parity over the 71 bits, stored as codeword bit 71.
+	parity := bits.OnesCount64(lo) + bits.OnesCount8(hi)
+	if parity%2 == 1 {
+		hi |= 1 << 7
+	}
+	return Codeword{Lo: lo, Hi: hi}
+}
+
+// bit returns codeword bit i (0-indexed).
+func (c Codeword) bit(i int) int {
+	if i < 64 {
+		return int(c.Lo >> uint(i) & 1)
+	}
+	return int(c.Hi >> uint(i-64) & 1)
+}
+
+// flip toggles codeword bit i.
+func (c *Codeword) flip(i int) {
+	if i < 64 {
+		c.Lo ^= 1 << uint(i)
+	} else {
+		c.Hi ^= 1 << uint(i-64)
+	}
+}
+
+// Flip returns the codeword with bit i (0..71) toggled — the fault
+// injection helper.
+func (c Codeword) Flip(i int) Codeword {
+	c.flip(i)
+	return c
+}
+
+// Decode extracts the data word, correcting a single-bit error and
+// detecting double-bit errors.
+func Decode(c Codeword) (data uint64, res Result, err error) {
+	// Recompute the syndrome over all 71 Hamming positions.
+	syndrome := 0
+	for pos := 1; pos <= 71; pos++ {
+		if c.bit(pos-1) == 1 {
+			syndrome ^= pos
+		}
+	}
+	parity := 0
+	for i := 0; i < CodewordBits; i++ {
+		parity ^= c.bit(i)
+	}
+
+	switch {
+	case syndrome == 0 && parity == 0:
+		res = OK
+	case parity == 1:
+		// Odd total parity: a single-bit error. If the syndrome is zero,
+		// the flipped bit is the overall parity bit itself.
+		if syndrome != 0 {
+			if syndrome > 71 {
+				return 0, Detected, ErrUncorrectable
+			}
+			c.flip(syndrome - 1)
+		} else {
+			c.flip(71)
+		}
+		res = Corrected
+	default:
+		// Even parity with a non-zero syndrome: two bits flipped.
+		return 0, Detected, ErrUncorrectable
+	}
+
+	for d := 0; d < 64; d++ {
+		if c.bit(dataPosition[d]-1) == 1 {
+			data |= 1 << uint(d)
+		}
+	}
+	return data, res, nil
+}
+
+// Overhead returns the storage overhead of the code (the extra chip per
+// rank): 8/64 = 12.5%.
+func Overhead() float64 {
+	return float64(CodewordBits-64) / 64
+}

@@ -1,0 +1,125 @@
+package ecc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripClean(t *testing.T) {
+	prop := func(data uint64) bool {
+		got, res, err := Decode(Encode(data))
+		return err == nil && res == OK && got == data
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleBitCorrection: flipping ANY one of the 72 codeword bits is
+// corrected and yields the original data.
+func TestSingleBitCorrection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		data := rng.Uint64()
+		cw := Encode(data)
+		for i := 0; i < CodewordBits; i++ {
+			got, res, err := Decode(cw.Flip(i))
+			if err != nil {
+				t.Fatalf("data %#x bit %d: %v", data, i, err)
+			}
+			if res != Corrected {
+				t.Fatalf("data %#x bit %d: result %v, want corrected", data, i, res)
+			}
+			if got != data {
+				t.Fatalf("data %#x bit %d: decoded %#x", data, i, got)
+			}
+		}
+	}
+}
+
+// TestDoubleBitDetection: flipping any two distinct bits is detected as
+// uncorrectable, never silently miscorrected.
+func TestDoubleBitDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		data := rng.Uint64()
+		cw := Encode(data)
+		for a := 0; a < CodewordBits; a++ {
+			for b := a + 1; b < CodewordBits; b += 7 { // sampled pairs
+				_, res, err := Decode(cw.Flip(a).Flip(b))
+				if !errors.Is(err, ErrUncorrectable) || res != Detected {
+					t.Fatalf("data %#x bits %d,%d: res=%v err=%v, want detected",
+						data, a, b, res, err)
+				}
+			}
+		}
+	}
+}
+
+func TestAllDoublePairsOneWord(t *testing.T) {
+	cw := Encode(0xdeadbeefcafef00d)
+	for a := 0; a < CodewordBits; a++ {
+		for b := a + 1; b < CodewordBits; b++ {
+			if _, res, _ := Decode(cw.Flip(a).Flip(b)); res != Detected {
+				t.Fatalf("pair (%d,%d) not detected: %v", a, b, res)
+			}
+		}
+	}
+}
+
+func TestCornerWords(t *testing.T) {
+	for _, data := range []uint64{0, ^uint64(0), 1, 1 << 63, 0x5555555555555555, 0xaaaaaaaaaaaaaaaa} {
+		got, res, err := Decode(Encode(data))
+		if err != nil || res != OK || got != data {
+			t.Errorf("word %#x: got %#x res %v err %v", data, got, res, err)
+		}
+	}
+}
+
+func TestDistinctCodewords(t *testing.T) {
+	// Sanity: different data produce different codewords.
+	seen := map[Codeword]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		d := rng.Uint64()
+		cw := Encode(d)
+		if prev, ok := seen[cw]; ok && prev != d {
+			t.Fatalf("collision: %#x and %#x share a codeword", prev, d)
+		}
+		seen[cw] = d
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead() != 0.125 {
+		t.Errorf("overhead = %v, want 0.125 (one extra chip per 8)", Overhead())
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Detected.String() != "detected" {
+		t.Error("result strings wrong")
+	}
+	if Result(99).String() != "invalid" {
+		t.Error("unknown result string wrong")
+	}
+}
+
+func TestDataPositionsDisjointFromChecks(t *testing.T) {
+	seen := map[int]bool{}
+	for d := 0; d < 64; d++ {
+		pos := dataPosition[d]
+		if pos <= 0 || pos > 71 {
+			t.Fatalf("data bit %d at invalid position %d", d, pos)
+		}
+		if pos&(pos-1) == 0 {
+			t.Fatalf("data bit %d at check position %d", d, pos)
+		}
+		if seen[pos] {
+			t.Fatalf("position %d reused", pos)
+		}
+		seen[pos] = true
+	}
+}

@@ -1,0 +1,94 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"rcnvm/internal/config"
+	"rcnvm/internal/device"
+	"rcnvm/internal/sim"
+	"rcnvm/internal/stats"
+	"rcnvm/internal/workload"
+)
+
+func TestForKind(t *testing.T) {
+	if ForKind(device.DRAM).Name != "DRAM" || ForKind(device.GSDRAM).Name != "DRAM" {
+		t.Error("DRAM-family mapping wrong")
+	}
+	if ForKind(device.RRAM).Name != "RRAM" || ForKind(device.RCNVM).Name != "RC-NVM" {
+		t.Error("NVM mapping wrong")
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	dram, rram, rc := DRAMModel(), RRAMModel(), RCNVMModel()
+	if dram.RefreshMW == 0 {
+		t.Error("DRAM must pay refresh")
+	}
+	if rram.RefreshMW != 0 || rc.RefreshMW != 0 {
+		t.Error("NVM must not pay refresh")
+	}
+	if rram.StaticMW >= dram.StaticMW {
+		t.Error("NVM standby power should undercut DRAM")
+	}
+	if rc.ActivatePJ <= rram.ActivatePJ || rc.CellWritePJ <= rram.CellWritePJ {
+		t.Error("RC-NVM periphery overheads missing")
+	}
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	res := sim.Result{
+		TimePs: 1e12, // 1 second, to make background terms legible
+		Counters: map[string]int64{
+			stats.RowActivations: 10,
+			stats.ColActivations: 5,
+			stats.MemReads:       100,
+			stats.MemWrites:      20,
+			stats.MemWritebacks:  30,
+			stats.BufferFlushes:  7,
+		},
+	}
+	m := Model{ActivatePJ: 2, ReadBurstPJ: 3, WriteBurstPJ: 4, CellWritePJ: 5, RefreshMW: 1, StaticMW: 2}
+	b := m.Estimate(res)
+	if b.ActivationPJ != 30 {
+		t.Errorf("activation = %v", b.ActivationPJ)
+	}
+	if b.TransferPJ != 100*3+50*4 {
+		t.Errorf("transfer = %v", b.TransferPJ)
+	}
+	if b.CellWritePJ != 35 {
+		t.Errorf("cell writes = %v", b.CellWritePJ)
+	}
+	if b.RefreshPJ != 1e9 || b.StaticPJ != 2e9 {
+		t.Errorf("background = %v / %v", b.RefreshPJ, b.StaticPJ)
+	}
+	if b.TotalPJ() != b.DynamicPJ()+b.RefreshPJ+b.StaticPJ {
+		t.Error("total inconsistent")
+	}
+	if !strings.Contains(b.String(), "uJ") {
+		t.Error("string format")
+	}
+}
+
+// TestQueryEnergyShape: on a read-heavy aggregate, RC-NVM uses less energy
+// than DRAM (fewer accesses, no refresh, low standby).
+func TestQueryEnergyShape(t *testing.T) {
+	p := workload.SmallParams()
+	spec, _ := workload.QueryByID("Q6")
+	rcRes, err := workload.Run(config.RCNVM(), spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dramRes, err := workload.Run(config.DRAM(), spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RCNVMModel().Estimate(rcRes)
+	dram := DRAMModel().Estimate(dramRes)
+	if rc.TotalPJ() >= dram.TotalPJ() {
+		t.Errorf("Q6 energy: RC-NVM %.2f uJ not below DRAM %.2f uJ", rc.TotalUJ(), dram.TotalUJ())
+	}
+	if rc.RefreshPJ != 0 || dram.RefreshPJ == 0 {
+		t.Error("refresh accounting wrong")
+	}
+}

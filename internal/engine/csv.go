@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ImportCSV appends rows from CSV data. Each record must carry exactly
+// TupleWords() unsigned integer fields (wide fields take several columns).
+// A header row is skipped when its first cell is not numeric. Returns the
+// number of rows appended.
+func (t *Table) ImportCSV(r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = t.Schema().TupleWords()
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("engine: csv: %w", err)
+		}
+		vals := make([]uint64, len(rec))
+		skip := false
+		for i, cell := range rec {
+			v, err := strconv.ParseUint(cell, 10, 64)
+			if err != nil {
+				if n == 0 && i == 0 {
+					skip = true // header row
+					break
+				}
+				return n, fmt.Errorf("engine: csv row %d field %d: %w", n+1, i+1, err)
+			}
+			vals[i] = v
+		}
+		if skip {
+			continue
+		}
+		if _, err := t.Append(vals...); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ExportCSV writes a header row (field names, wide fields suffixed with
+// _0.._k) followed by every live tuple.
+func (t *Table) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	var header []string
+	for _, f := range t.Schema().Fields {
+		if f.Words == 1 {
+			header = append(header, f.Name)
+			continue
+		}
+		for k := 0; k < f.Words; k++ {
+			header = append(header, fmt.Sprintf("%s_%d", f.Name, k))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.LiveRows() {
+		vals, err := t.Tuple(row)
+		if err != nil {
+			return err
+		}
+		rec := make([]string, len(vals))
+		for i, v := range vals {
+			rec[i] = strconv.FormatUint(v, 10)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,608 @@
+// Package engine is a small but functional in-memory database engine on
+// top of the dual-addressable memory model: it stores real tuple values in
+// a funcmem.Memory through the storage layouts of internal/imdb, executes
+// scans, aggregates, projections, updates and hash joins with the access
+// orientations an RC-NVM-aware engine would choose (column accesses for
+// field scans, row accesses for tuple fetches), and can record its memory
+// accesses as a trace replayable on the timing simulator.
+//
+// It is the "values" counterpart of internal/query (which plans access
+// *streams* for the timing model): the engine proves the dual-addressing
+// semantics end to end — every query result is identical whether the
+// engine runs in dual-address mode or in conventional row-only mode,
+// because both views address the same cells.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/funcmem"
+	"rcnvm/internal/imdb"
+	"rcnvm/internal/trace"
+)
+
+// Mode selects how the engine addresses memory.
+type Mode uint8
+
+const (
+	// DualAddress uses column-oriented accesses for field scans (the
+	// RC-NVM engine).
+	DualAddress Mode = iota
+	// RowOnly restricts the engine to row-oriented accesses (the
+	// conventional-memory engine, for comparison).
+	RowOnly
+)
+
+// DB is one database instance bound to one memory.
+type DB struct {
+	mem    *funcmem.Memory
+	mode   Mode
+	alloc  *imdb.NVMAllocator
+	linear *imdb.LinearAllocator
+	tables map[string]*Table
+
+	recording bool
+	traceOps  trace.Stream
+}
+
+// Open creates a database on a fresh memory. DualAddress mode uses the
+// RC-NVM geometry with the chunked column-oriented layout; RowOnly uses a
+// classical linear row store on the same geometry.
+func Open(mode Mode) (*DB, error) {
+	geom := addr.Geometry{
+		ChannelBits: 1, RankBits: 2, BankBits: 3, SubarrayBits: 3,
+		RowBits: 10, ColumnBits: 10, DualAddress: mode == DualAddress,
+	}
+	mem, err := funcmem.New(geom)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{mem: mem, mode: mode, tables: make(map[string]*Table)}
+	if mode == DualAddress {
+		db.alloc = imdb.NewNVMAllocatorSpread(geom, 16)
+	} else {
+		db.linear = imdb.NewLinearAllocator(geom)
+	}
+	mem.SetObserver(db.observe)
+	return db, nil
+}
+
+// Mem exposes the underlying memory (counters, footprint).
+func (db *DB) Mem() *funcmem.Memory { return db.mem }
+
+// Mode returns the addressing mode.
+func (db *DB) Mode() Mode { return db.mode }
+
+func (db *DB) observe(c addr.Coord, o addr.Orientation, write bool) {
+	if !db.recording {
+		return
+	}
+	var k trace.Kind
+	switch {
+	case o == addr.Column && write:
+		k = trace.CStore
+	case o == addr.Column:
+		k = trace.CLoad
+	case write:
+		k = trace.Store
+	default:
+		k = trace.Load
+	}
+	db.traceOps = append(db.traceOps, trace.Op{Kind: k, Coord: c})
+}
+
+// StartTrace begins recording every memory access as trace ops.
+func (db *DB) StartTrace() {
+	db.recording = true
+	db.traceOps = nil
+}
+
+// StopTrace ends recording and returns the recorded stream.
+func (db *DB) StopTrace() trace.Stream {
+	db.recording = false
+	s := db.traceOps
+	db.traceOps = nil
+	return s
+}
+
+// RowOnlyStream converts a recorded stream's column accesses to row
+// accesses at the same physical cells — "the same plan on a conventional
+// memory", for timing comparisons.
+func RowOnlyStream(s trace.Stream) trace.Stream {
+	out := make(trace.Stream, len(s))
+	for i, op := range s {
+		switch op.Kind {
+		case trace.CLoad:
+			op.Kind = trace.Load
+		case trace.CStore:
+			op.Kind = trace.Store
+		}
+		out[i] = op
+	}
+	return out
+}
+
+// Table is one relation with materialized values. Deletion is by
+// tombstone: row ids stay stable, deleted rows vanish from scans and
+// aggregates.
+type Table struct {
+	db       *DB
+	place    imdb.Placement
+	rows     int
+	capacity int
+	deleted  []bool
+	live     int
+}
+
+// CreateTable allocates a table with a fixed capacity.
+func (db *DB) CreateTable(name string, schema imdb.Schema, capacity int) (*Table, error) {
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("engine: table %q exists", name)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("engine: capacity must be positive")
+	}
+	meta := imdb.NewTable(schema, capacity)
+	var place imdb.Placement
+	var err error
+	if db.mode == DualAddress {
+		place, err = db.alloc.Place(meta, imdb.ColMajor)
+	} else {
+		place, err = db.linear.Place(meta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, place: place, capacity: capacity}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() imdb.Schema { return t.place.Table().Schema }
+
+// Rows returns the number of appended tuples (including tombstoned ones;
+// row ids are stable).
+func (t *Table) Rows() int { return t.rows }
+
+// Live returns the number of non-deleted tuples.
+func (t *Table) Live() int { return t.live }
+
+// IsLive reports whether row exists and is not tombstoned.
+func (t *Table) IsLive(row int) bool {
+	return row >= 0 && row < t.rows && !t.deleted[row]
+}
+
+// LiveRows returns the ids of all non-deleted rows, ascending.
+func (t *Table) LiveRows() []int {
+	out := make([]int, 0, t.live)
+	for row := 0; row < t.rows; row++ {
+		if !t.deleted[row] {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Capacity returns the allocated tuple capacity.
+func (t *Table) Capacity() int { return t.capacity }
+
+// scanOrient is the orientation for reading one field across tuples.
+func (t *Table) scanOrient(row int) addr.Orientation {
+	if t.db.mode == RowOnly {
+		return addr.Row
+	}
+	return t.place.ScanOrient(row)
+}
+
+// fetchOrient is the orientation for reading along one tuple.
+func (t *Table) fetchOrient(row int) addr.Orientation {
+	if t.db.mode == RowOnly {
+		return addr.Row
+	}
+	return t.place.FetchOrient(row)
+}
+
+func (t *Table) checkRow(row int) error {
+	if row < 0 || row >= t.rows {
+		return fmt.Errorf("engine: row %d out of range [0,%d)", row, t.rows)
+	}
+	return nil
+}
+
+// checkLive rejects out-of-range and tombstoned rows.
+func (t *Table) checkLive(row int) error {
+	if err := t.checkRow(row); err != nil {
+		return err
+	}
+	if t.deleted[row] {
+		return fmt.Errorf("engine: row %d is deleted", row)
+	}
+	return nil
+}
+
+// Delete tombstones the listed rows. Deleting a deleted row is an error.
+func (t *Table) Delete(rows []int) error {
+	for _, row := range rows {
+		if err := t.checkLive(row); err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		if !t.deleted[row] {
+			t.deleted[row] = true
+			t.live--
+		}
+	}
+	return nil
+}
+
+// Append stores one tuple and returns its row id.
+func (t *Table) Append(vals ...uint64) (int, error) {
+	L := t.Schema().TupleWords()
+	if len(vals) != L {
+		return 0, fmt.Errorf("engine: tuple needs %d words, got %d", L, len(vals))
+	}
+	if t.rows >= t.capacity {
+		return 0, fmt.Errorf("engine: table full (%d rows)", t.capacity)
+	}
+	row := t.rows
+	t.rows++
+	t.live++
+	t.deleted = append(t.deleted, false)
+	o := t.fetchOrient(row)
+	for w, v := range vals {
+		t.db.mem.WriteCoord(t.place.Cell(row, w), o, v)
+	}
+	return row, nil
+}
+
+// Tuple reads a whole tuple (row orientation).
+func (t *Table) Tuple(row int) ([]uint64, error) {
+	if err := t.checkLive(row); err != nil {
+		return nil, err
+	}
+	L := t.Schema().TupleWords()
+	out := make([]uint64, L)
+	o := t.fetchOrient(row)
+	for w := range out {
+		out[w] = t.db.mem.ReadCoord(t.place.Cell(row, w), o)
+	}
+	return out, nil
+}
+
+// Field reads one field of one tuple (its words).
+func (t *Table) Field(row int, field string) ([]uint64, error) {
+	if err := t.checkLive(row); err != nil {
+		return nil, err
+	}
+	off, words, err := t.Schema().FieldOffset(field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, words)
+	o := t.fetchOrient(row)
+	for k := range out {
+		out[k] = t.db.mem.ReadCoord(t.place.Cell(row, off+k), o)
+	}
+	return out, nil
+}
+
+// SetField overwrites one field of one tuple. Single-word fields use the
+// field-scan orientation (a cstore on RC-NVM).
+func (t *Table) SetField(row int, field string, vals ...uint64) error {
+	if err := t.checkLive(row); err != nil {
+		return err
+	}
+	off, words, err := t.Schema().FieldOffset(field)
+	if err != nil {
+		return err
+	}
+	if len(vals) != words {
+		return fmt.Errorf("engine: field %s needs %d words, got %d", field, words, len(vals))
+	}
+	o := t.fetchOrient(row)
+	if words == 1 {
+		o = t.scanOrient(row)
+	}
+	for k, v := range vals {
+		t.db.mem.WriteCoord(t.place.Cell(row, off+k), o, v)
+	}
+	return nil
+}
+
+// ScanWhere evaluates pred over one field of every tuple (column-oriented
+// on RC-NVM) and returns the matching row ids, ascending.
+func (t *Table) ScanWhere(field string, pred func(vals []uint64) bool) ([]int, error) {
+	off, words, err := t.Schema().FieldOffset(field)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	buf := make([]uint64, words)
+	for row := 0; row < t.rows; row++ {
+		if t.deleted[row] {
+			continue
+		}
+		o := t.scanOrient(row)
+		for k := 0; k < words; k++ {
+			buf[k] = t.db.mem.ReadCoord(t.place.Cell(row, off+k), o)
+		}
+		if pred(buf) {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// SumField sums a single-word field over the given rows (nil = all rows).
+func (t *Table) SumField(field string, rows []int) (uint64, error) {
+	off, words, err := t.Schema().FieldOffset(field)
+	if err != nil {
+		return 0, err
+	}
+	if words != 1 {
+		return 0, fmt.Errorf("engine: SUM over multi-word field %s", field)
+	}
+	var sum uint64
+	each := func(row int) error {
+		if err := t.checkLive(row); err != nil {
+			return err
+		}
+		sum += t.db.mem.ReadCoord(t.place.Cell(row, off), t.scanOrient(row))
+		return nil
+	}
+	if rows == nil {
+		for row := 0; row < t.rows; row++ {
+			if t.deleted[row] {
+				continue
+			}
+			if err := each(row); err != nil {
+				return 0, err
+			}
+		}
+		return sum, nil
+	}
+	for _, row := range rows {
+		if err := each(row); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+// AvgField averages a single-word field over rows (nil = all live rows).
+func (t *Table) AvgField(field string, rows []int) (float64, error) {
+	n := len(rows)
+	if rows == nil {
+		n = t.live
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("engine: AVG over zero rows")
+	}
+	sum, err := t.SumField(field, rows)
+	if err != nil {
+		return 0, err
+	}
+	return float64(sum) / float64(n), nil
+}
+
+// Project materializes the given fields of the given rows.
+func (t *Table) Project(rows []int, fields []string) ([][]uint64, error) {
+	out := make([][]uint64, 0, len(rows))
+	for _, row := range rows {
+		var tupleVals []uint64
+		for _, f := range fields {
+			vals, err := t.Field(row, f)
+			if err != nil {
+				return nil, err
+			}
+			tupleVals = append(tupleVals, vals...)
+		}
+		out = append(out, tupleVals)
+	}
+	return out, nil
+}
+
+// Update overwrites a field of every listed row.
+func (t *Table) Update(rows []int, field string, vals ...uint64) error {
+	for _, row := range rows {
+		if err := t.SetField(row, field, vals...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Join performs a hash equi-join on two single-word fields, returning the
+// matching (row in a, row in b) pairs ordered by (a, b).
+func Join(a *Table, aField string, b *Table, bField string) ([][2]int, error) {
+	offA, wordsA, err := a.Schema().FieldOffset(aField)
+	if err != nil {
+		return nil, err
+	}
+	offB, wordsB, err := b.Schema().FieldOffset(bField)
+	if err != nil {
+		return nil, err
+	}
+	if wordsA != 1 || wordsB != 1 {
+		return nil, fmt.Errorf("engine: join keys must be single-word fields")
+	}
+	// Build over a (column scan), probe with b.
+	build := make(map[uint64][]int)
+	for row := 0; row < a.rows; row++ {
+		if a.deleted[row] {
+			continue
+		}
+		k := a.db.mem.ReadCoord(a.place.Cell(row, offA), a.scanOrient(row))
+		build[k] = append(build[k], row)
+	}
+	var out [][2]int
+	for row := 0; row < b.rows; row++ {
+		if b.deleted[row] {
+			continue
+		}
+		k := b.db.mem.ReadCoord(b.place.Cell(row, offB), b.scanOrient(row))
+		for _, ar := range build[k] {
+			out = append(out, [2]int{ar, row})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out, nil
+}
+
+// MinMaxField returns the minimum and maximum of a single-word field over
+// rows (nil = all live rows).
+func (t *Table) MinMaxField(field string, rows []int) (min, max uint64, err error) {
+	off, words, err := t.Schema().FieldOffset(field)
+	if err != nil {
+		return 0, 0, err
+	}
+	if words != 1 {
+		return 0, 0, fmt.Errorf("engine: MIN/MAX over multi-word field %s", field)
+	}
+	first := true
+	each := func(row int) error {
+		if err := t.checkLive(row); err != nil {
+			return err
+		}
+		v := t.db.mem.ReadCoord(t.place.Cell(row, off), t.scanOrient(row))
+		if first || v < min {
+			min = v
+		}
+		if first || v > max {
+			max = v
+		}
+		first = false
+		return nil
+	}
+	if rows == nil {
+		for row := 0; row < t.rows; row++ {
+			if t.deleted[row] {
+				continue
+			}
+			if err := each(row); err != nil {
+				return 0, 0, err
+			}
+		}
+	} else {
+		for _, row := range rows {
+			if err := each(row); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if first {
+		return 0, 0, fmt.Errorf("engine: MIN/MAX over zero rows")
+	}
+	return min, max, nil
+}
+
+// GroupRow is one GROUP BY result.
+type GroupRow struct {
+	Key   uint64
+	Sum   uint64
+	Count int
+}
+
+// GroupSum groups rows (nil = all live) by a single-word key field and
+// sums a single-word aggregate field per group. Results are ordered by
+// ascending key.
+func (t *Table) GroupSum(keyField, sumField string, rows []int) ([]GroupRow, error) {
+	offK, wordsK, err := t.Schema().FieldOffset(keyField)
+	if err != nil {
+		return nil, err
+	}
+	offS, wordsS, err := t.Schema().FieldOffset(sumField)
+	if err != nil {
+		return nil, err
+	}
+	if wordsK != 1 || wordsS != 1 {
+		return nil, fmt.Errorf("engine: GROUP BY needs single-word fields")
+	}
+	acc := make(map[uint64]*GroupRow)
+	each := func(row int) error {
+		if err := t.checkLive(row); err != nil {
+			return err
+		}
+		k := t.db.mem.ReadCoord(t.place.Cell(row, offK), t.scanOrient(row))
+		v := t.db.mem.ReadCoord(t.place.Cell(row, offS), t.scanOrient(row))
+		g, ok := acc[k]
+		if !ok {
+			g = &GroupRow{Key: k}
+			acc[k] = g
+		}
+		g.Sum += v
+		g.Count++
+		return nil
+	}
+	if rows == nil {
+		for row := 0; row < t.rows; row++ {
+			if t.deleted[row] {
+				continue
+			}
+			if err := each(row); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, row := range rows {
+			if err := each(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]GroupRow, 0, len(acc))
+	for _, g := range acc {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Vacuum compacts the table in place: live tuples are rewritten densely at
+// the front (preserving their relative order) and the tombstones are
+// dropped. Row ids change; the new id of old row i is its rank among live
+// rows. Returns the number of reclaimed slots.
+func (t *Table) Vacuum() (int, error) {
+	reclaimed := t.rows - t.live
+	if reclaimed == 0 {
+		return 0, nil
+	}
+	next := 0
+	L := t.Schema().TupleWords()
+	for row := 0; row < t.rows; row++ {
+		if t.deleted[row] {
+			continue
+		}
+		if next != row {
+			o := t.fetchOrient(row)
+			no := t.fetchOrient(next)
+			for w := 0; w < L; w++ {
+				v := t.db.mem.ReadCoord(t.place.Cell(row, w), o)
+				t.db.mem.WriteCoord(t.place.Cell(next, w), no, v)
+			}
+		}
+		next++
+	}
+	t.rows = next
+	t.live = next
+	t.deleted = t.deleted[:next]
+	for i := range t.deleted {
+		t.deleted[i] = false
+	}
+	return reclaimed, nil
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"rcnvm/internal/imdb"
+)
+
+// The persistence format snapshots the catalog plus every live tuple's
+// values. NVM itself is non-volatile — on real RC-NVM the data simply
+// survives power-down — so Save/Load stands in for device persistence when
+// the simulated memory lives in a volatile Go process: a saved database
+// re-loaded into a fresh DB reproduces identical query results.
+
+type persistField struct {
+	Name  string
+	Words int
+}
+
+type persistTable struct {
+	Name     string
+	Fields   []persistField
+	Capacity int
+	// Tuples holds the values of live rows in row order; Deleted marks the
+	// tombstoned row ids so row ids stay stable across a reload.
+	Tuples  [][]uint64
+	Deleted []int
+}
+
+type persistDB struct {
+	Version int
+	Mode    Mode
+	Tables  []persistTable
+}
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// Save writes a snapshot of the database (catalog and all tuple values).
+func (db *DB) Save(w io.Writer) error {
+	snap := persistDB{Version: persistVersion, Mode: db.mode}
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		pt := persistTable{Name: name, Capacity: t.capacity}
+		for _, f := range t.Schema().Fields {
+			pt.Fields = append(pt.Fields, persistField{Name: f.Name, Words: f.Words})
+		}
+		for row := 0; row < t.rows; row++ {
+			if t.deleted[row] {
+				pt.Deleted = append(pt.Deleted, row)
+				pt.Tuples = append(pt.Tuples, nil)
+				continue
+			}
+			vals, err := t.Tuple(row)
+			if err != nil {
+				return fmt.Errorf("engine: save %s row %d: %w", name, row, err)
+			}
+			pt.Tuples = append(pt.Tuples, vals)
+		}
+		snap.Tables = append(snap.Tables, pt)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a snapshot into a fresh database (which must have no tables).
+func (db *DB) Load(r io.Reader) error {
+	if len(db.tables) != 0 {
+		return fmt.Errorf("engine: Load requires an empty database")
+	}
+	var snap persistDB
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("engine: load: %w", err)
+	}
+	if snap.Version != persistVersion {
+		return fmt.Errorf("engine: snapshot version %d, want %d", snap.Version, persistVersion)
+	}
+	for _, pt := range snap.Tables {
+		schema := imdb.Schema{Name: pt.Name}
+		for _, f := range pt.Fields {
+			schema.Fields = append(schema.Fields, imdb.Field{Name: f.Name, Words: f.Words})
+		}
+		t, err := db.CreateTable(pt.Name, schema, pt.Capacity)
+		if err != nil {
+			return err
+		}
+		deleted := make(map[int]bool, len(pt.Deleted))
+		for _, row := range pt.Deleted {
+			deleted[row] = true
+		}
+		for row, vals := range pt.Tuples {
+			if deleted[row] {
+				// Recreate the tombstone with a placeholder tuple so row
+				// ids stay stable.
+				placeholder := make([]uint64, schema.TupleWords())
+				if _, err := t.Append(placeholder...); err != nil {
+					return err
+				}
+				if err := t.Delete([]int{row}); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := t.Append(vals...); err != nil {
+				return fmt.Errorf("engine: load %s row %d: %w", pt.Name, row, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rcnvm/internal/imdb"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src, _ := Open(DualAddress)
+	tbl, ref := buildPeople(t, src, 300)
+	if err := tbl.Delete([]int{7, 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _ := Open(DualAddress)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Table("person")
+	if !ok {
+		t.Fatal("table missing after load")
+	}
+	if got.Rows() != 300 || got.Live() != 298 {
+		t.Fatalf("rows/live = %d/%d", got.Rows(), got.Live())
+	}
+	for i, want := range ref {
+		if i == 7 || i == 100 {
+			if got.IsLive(i) {
+				t.Fatalf("row %d should still be deleted", i)
+			}
+			continue
+		}
+		vals, err := got.Tuple(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vals, want) {
+			t.Fatalf("row %d = %v, want %v", i, vals, want)
+		}
+	}
+
+	// Queries agree before and after the round trip.
+	sumA, _ := tbl.SumField("f2", nil)
+	sumB, _ := got.SumField("f2", nil)
+	if sumA != sumB {
+		t.Fatalf("sums differ after reload: %d vs %d", sumA, sumB)
+	}
+}
+
+func TestSaveLoadAcrossModes(t *testing.T) {
+	// A dual-address snapshot loads into a row-only engine (and vice
+	// versa): the values are mode-independent.
+	src, _ := Open(DualAddress)
+	_, ref := buildPeople(t, src, 64)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := Open(RowOnly)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := dst.Table("person")
+	vals, err := tbl.Tuple(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vals, ref[10]) {
+		t.Fatalf("cross-mode reload row 10 = %v", vals)
+	}
+}
+
+func TestLoadRequiresEmptyDB(t *testing.T) {
+	src, _ := Open(DualAddress)
+	buildPeople(t, src, 8)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := Open(DualAddress)
+	if _, err := dst.CreateTable("x", imdb.Uniform("x", 2), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Load(&buf); err == nil {
+		t.Fatal("load into non-empty db accepted")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	dst, _ := Open(DualAddress)
+	if err := dst.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveMultipleTables(t *testing.T) {
+	src, _ := Open(DualAddress)
+	buildPeople(t, src, 32)
+	wide, err := src.CreateTable("c", imdb.Schema{Name: "c", Fields: []imdb.Field{
+		{Name: "id", Words: 1}, {Name: "blob", Words: 3},
+	}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.Append(1, 7, 8, 9)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := Open(DualAddress)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := dst.Table("c")
+	if !ok {
+		t.Fatal("second table missing")
+	}
+	blob, err := c.Field(0, "blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blob, []uint64{7, 8, 9}) {
+		t.Fatalf("blob = %v", blob)
+	}
+}

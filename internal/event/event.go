@@ -1,0 +1,92 @@
+// Package event provides the deterministic discrete-event engine that
+// drives the full-system simulation: a monotonic picosecond clock and a
+// binary-heap event queue with FIFO tie-breaking, so identical inputs always
+// produce identical schedules.
+package event
+
+import "container/heap"
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all simulator components run inside its event callbacks.
+type Engine struct {
+	now int64
+	seq uint64
+	q   eventHeap
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in picoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past runs the
+// event at the current time (never rewinds the clock).
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.q, item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d int64, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Run executes events in time order until the queue drains, and returns the
+// final clock value.
+func (e *Engine) Run() int64 {
+	for len(e.q) > 0 {
+		it := heap.Pop(&e.q).(item)
+		e.now = it.at
+		it.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event, returning false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.q).(item)
+	e.now = it.at
+	it.fn()
+	return true
+}
+
+type item struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(item)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,125 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []int64
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	e := New()
+	var at int64 = -1
+	e.At(100, func() {
+		e.At(50, func() { at = e.Now() }) // in the past
+	})
+	e.Run()
+	if at != 100 {
+		t.Errorf("past event ran at %d, want clamped to 100", at)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	n := 0
+	e.At(1, func() { n++ })
+	e.At(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatal("first step failed")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if !e.Step() || n != 2 {
+		t.Fatal("second step failed")
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue should return false")
+	}
+}
+
+// TestClockMonotonic: whatever times events are scheduled at, observed Now()
+// values never decrease.
+func TestClockMonotonic(t *testing.T) {
+	prop := func(times []int64) bool {
+		e := New()
+		var seen []int64
+		for _, raw := range times {
+			at := raw % 1_000_000
+			if at < 0 {
+				at = -at
+			}
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := New()
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.At(int64(i%7)*10, func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

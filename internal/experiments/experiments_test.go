@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAreaOverheadTable(t *testing.T) {
+	tab := AreaOverhead()
+	if len(tab.XLabels) != 7 || len(tab.Series) != 2 {
+		t.Fatalf("fig4 shape wrong: %d x-labels, %d series", len(tab.XLabels), len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Values) != len(tab.XLabels) {
+			t.Fatalf("series %s has %d values for %d labels", s.Label, len(s.Values), len(tab.XLabels))
+		}
+	}
+	// RC-DRAM over 200% everywhere; RC-NVM under 20% at 512 (index 5).
+	for _, v := range tab.Series[0].Values {
+		if v <= 200 {
+			t.Errorf("RC-DRAM overhead %v%% <= 200%%", v)
+		}
+	}
+	if v := tab.Series[1].Values[5]; v >= 20 {
+		t.Errorf("RC-NVM overhead at 512 = %v%%, want < 20%%", v)
+	}
+	if !strings.Contains(tab.String(), "Figure 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestLatencyOverheadTable(t *testing.T) {
+	tab := LatencyOverhead()
+	if len(tab.Series) != 1 {
+		t.Fatal("fig5 should have one series")
+	}
+	vals := tab.Series[0].Values
+	for i := 1; i < len(vals); i++ {
+		if vals[i] >= vals[i-1] {
+			t.Fatalf("latency overhead not decreasing at %s", tab.XLabels[i])
+		}
+	}
+}
+
+func TestConfigAndQueryTables(t *testing.T) {
+	cfg := ConfigTable()
+	for _, want := range []string{"Table 1", "RC-NVM", "DRAM", "tRCD"} {
+		if !strings.Contains(cfg, want) {
+			t.Errorf("config table missing %q", want)
+		}
+	}
+	qt := QueryTable()
+	for _, want := range []string{"Q1", "Q13", "Q15", "SELECT", "UPDATE"} {
+		if !strings.Contains(qt, want) {
+			t.Errorf("query table missing %q", want)
+		}
+	}
+}
+
+func TestMicroBenchSmall(t *testing.T) {
+	tab, err := MicroBench(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.XLabels) != 8 || len(tab.Series) != 3 {
+		t.Fatalf("fig17 shape: %d benchmarks, %d systems", len(tab.XLabels), len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		for i, v := range s.Values {
+			if v <= 0 {
+				t.Errorf("%s/%s non-positive time", s.Label, tab.XLabels[i])
+			}
+		}
+	}
+}
+
+func TestQueryBenchSmall(t *testing.T) {
+	res, err := QueryBench(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exec.XLabels) != 13 || len(res.Exec.Series) != 4 {
+		t.Fatalf("fig18 shape: %d queries, %d systems", len(res.Exec.XLabels), len(res.Exec.Series))
+	}
+	if len(res.Coherence.Series) != 1 || len(res.Coherence.Series[0].Values) != 13 {
+		t.Fatal("fig21 shape wrong")
+	}
+	// Figure 21: overhead within a sane band (paper 0.2-3.4%; assert <6%).
+	for i, v := range res.Coherence.Series[0].Values {
+		if v < 0 || v > 6 {
+			t.Errorf("coherence overhead %s = %v%%, out of band", res.Coherence.XLabels[i], v)
+		}
+	}
+	// Figure 20: miss rates are percentages.
+	for _, s := range res.BufMiss.Series {
+		for _, v := range s.Values {
+			if v < 0 || v > 100 {
+				t.Errorf("buffer miss rate %v out of [0,100]", v)
+			}
+		}
+	}
+	// The summary note is attached.
+	if len(res.Exec.Notes) == 0 || !strings.Contains(res.Exec.Notes[0], "avg exec-time reduction") {
+		t.Error("fig18 summary note missing")
+	}
+	// Figure 19: RC-NVM (series 0) accesses below DRAM (series 3) on the
+	// aggregate queries Q4..Q7 (indices 3..6).
+	for i := 3; i <= 6; i++ {
+		rc := res.Accesses.Series[0].Values[i]
+		dram := res.Accesses.Series[3].Values[i]
+		if rc*2 > dram {
+			t.Errorf("fig19 %s: RC-NVM %.0fk vs DRAM %.0fk accesses", res.Accesses.XLabels[i], rc, dram)
+		}
+	}
+}
+
+func TestGroupCachingSmall(t *testing.T) {
+	tab, err := GroupCaching(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.XLabels) != 5 || len(tab.Series) != 2 {
+		t.Fatalf("fig23 shape: %v x %d series", tab.XLabels, len(tab.Series))
+	}
+	// Group caching beats the w/o baseline at depth 128 for both queries.
+	for _, s := range tab.Series {
+		if s.Values[4] >= s.Values[0] {
+			t.Errorf("%s: g=128 (%.3f) not faster than w/o (%.3f)", s.Label, s.Values[4], s.Values[0])
+		}
+	}
+}
+
+func TestLatencySensitivitySmall(t *testing.T) {
+	tab, err := LatencySensitivity(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.XLabels) != 5 || len(tab.Series) != 3 {
+		t.Fatalf("fig22 shape wrong")
+	}
+	rc := tab.Series[0].Values
+	// RC-NVM time grows with cell latency.
+	if rc[4] <= rc[0] {
+		t.Errorf("sensitivity not increasing: %v", rc)
+	}
+	// At the Table 1 point (25ns) RC-NVM clearly beats DRAM on average.
+	dram := tab.Series[2].Values[0]
+	if rc[1] >= dram {
+		t.Errorf("at 25ns RC-NVM avg %.3f not below DRAM %.3f", rc[1], dram)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"small": ScaleSmall, "medium": ScaleMedium, "full": ScaleFull} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if ParamsFor(ScaleMedium).TuplesA >= ParamsFor(ScaleFull).TuplesA {
+		t.Error("medium scale should be smaller than full")
+	}
+}
+
+func TestTechnologyComparisonSmall(t *testing.T) {
+	tab, err := TechnologyComparison(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(tab.Series))
+	}
+	rram := tab.Series[0].Values[0]
+	pcm := tab.Series[1].Values[0]
+	xp := tab.Series[2].Values[0]
+	if !(rram < pcm && pcm < xp) {
+		t.Errorf("technology ordering wrong: rram %.3f pcm %.3f 3dxp %.3f", rram, pcm, xp)
+	}
+	// RC-PCM should still beat the DRAM reference on the query mix.
+	dram := tab.Series[3].Values[0]
+	if pcm >= dram {
+		t.Errorf("RC-PCM (%.3f) should still beat DRAM (%.3f)", pcm, dram)
+	}
+}
+
+func TestEnergyComparisonSmall(t *testing.T) {
+	tab, err := EnergyComparison(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 4 || len(tab.XLabels) != 13 {
+		t.Fatalf("energy table shape %dx%d", len(tab.Series), len(tab.XLabels))
+	}
+	// RC-NVM (series 0) uses less energy than DRAM (series 3) on the
+	// read-heavy aggregates.
+	for i := 3; i <= 6; i++ {
+		if tab.Series[0].Values[i] >= tab.Series[3].Values[i] {
+			t.Errorf("%s: RC-NVM %.2f uJ >= DRAM %.2f uJ",
+				tab.XLabels[i], tab.Series[0].Values[i], tab.Series[3].Values[i])
+		}
+	}
+}
+
+func TestOLXPMixSmall(t *testing.T) {
+	tab, err := OLXPMix(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 4 || len(tab.XLabels) != 3 {
+		t.Fatalf("olxp table shape %dx%d", len(tab.Series), len(tab.XLabels))
+	}
+	rc, dram := tab.Series[0].Values, tab.Series[3].Values
+	if rc[0] >= dram[0] {
+		t.Errorf("OLXP: RC-NVM %.3f not faster than DRAM %.3f", rc[0], dram[0])
+	}
+	// Only RC-NVM switches orientations; its overhead stays small.
+	if rc[1] == 0 {
+		t.Error("RC-NVM mix should switch orientations")
+	}
+	if dram[1] != 0 {
+		t.Error("DRAM cannot switch orientations")
+	}
+	if rc[2] > 6 {
+		t.Errorf("synonym overhead %.2f%% out of band", rc[2])
+	}
+}

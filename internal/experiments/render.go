@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Format selects an output renderer for experiment tables.
+type Format uint8
+
+const (
+	// Text is the aligned plain-text renderer (default).
+	Text Format = iota
+	// CSV emits RFC-4180 rows (one header line, one line per series).
+	CSV
+	// Markdown emits a GitHub-flavored markdown table.
+	Markdown
+)
+
+// ParseFormat maps a flag string to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text":
+		return Text, nil
+	case "csv":
+		return CSV, nil
+	case "md", "markdown":
+		return Markdown, nil
+	}
+	return 0, fmt.Errorf("unknown format %q (text|csv|md)", s)
+}
+
+// RenderAs writes the table in the requested format.
+func (t TableData) RenderAs(w io.Writer, f Format) error {
+	switch f {
+	case CSV:
+		return t.RenderCSV(w)
+	case Markdown:
+		return t.RenderMarkdown(w)
+	default:
+		t.Render(w)
+		return nil
+	}
+}
+
+// RenderCSV writes the table as CSV: a comment-ish first column carries the
+// series label; the header row carries the figure id and x labels.
+func (t TableData) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.ID}, t.XLabels...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		row := make([]string, 0, len(s.Values)+1)
+		row = append(row, s.Label)
+		for _, v := range s.Values {
+			row = append(row, strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the table as a GitHub markdown table with a bold
+// title line.
+func (t TableData) RenderMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "**%s — %s**", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Unit != "" {
+		fmt.Fprintf(w, " _(%s)_", t.Unit)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "| |")
+	for _, x := range t.XLabels {
+		fmt.Fprintf(w, " %s |", x)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range t.XLabels {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, "| %s |", s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(w, " %s |", formatValue(v))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n_%s_\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() TableData {
+	return TableData{
+		ID: "Figure X", Title: "Sample", Unit: "u",
+		XLabels: []string{"a", "b"},
+		Series: []Series{
+			{Label: "s1", Values: []float64{1.5, 2}},
+			{Label: "s2", Values: []float64{30, 4000}},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for s, want := range map[string]Format{"text": Text, "csv": CSV, "md": Markdown, "markdown": Markdown} {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml accepted")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Figure X,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "s1,1.5,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().RenderMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Figure X — Sample**", "| s1 |", "|---|", "_a note_", "_(u)_"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	for _, f := range []Format{Text, CSV, Markdown} {
+		var b strings.Builder
+		if err := sample().RenderAs(&b, f); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("format %v produced nothing", f)
+		}
+	}
+}

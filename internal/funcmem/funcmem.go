@@ -1,0 +1,141 @@
+// Package funcmem is the functional (value-carrying) model of a
+// dual-addressable memory: it stores actual 8-byte words and serves reads
+// and writes through either the row-oriented or the column-oriented
+// address encoding, with both views guaranteed to agree — the semantic
+// contract of RC-NVM that the timing simulator (internal/device) does not
+// carry because it models time, not data.
+//
+// Storage is a sparse page map over the canonical (row-oriented) word
+// index, so a 4 GB address space costs memory only where data lives. An
+// optional observer receives every access; internal/engine uses it to
+// count orientation traffic and to record replayable traces.
+package funcmem
+
+import (
+	"fmt"
+
+	"rcnvm/internal/addr"
+)
+
+// pageWords is the allocation granularity (32 KB pages).
+const pageWords = 1 << 12
+
+// Observer receives every word access.
+type Observer func(c addr.Coord, o addr.Orientation, write bool)
+
+// Memory is a functional dual-addressable word store.
+type Memory struct {
+	geom     addr.Geometry
+	pages    map[uint32][]uint64
+	observer Observer
+
+	reads, writes [2]int64 // indexed by orientation
+}
+
+// New returns an empty memory with the given geometry.
+func New(geom addr.Geometry) (*Memory, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{geom: geom, pages: make(map[uint32][]uint64)}, nil
+}
+
+// Geom returns the memory geometry.
+func (m *Memory) Geom() addr.Geometry { return m.geom }
+
+// SetObserver installs the access observer (nil to remove).
+func (m *Memory) SetObserver(obs Observer) { m.observer = obs }
+
+// word returns the canonical word index of a coordinate.
+func (m *Memory) word(c addr.Coord) uint32 {
+	return m.geom.Encode(c, addr.Row) / addr.WordBytes
+}
+
+func (m *Memory) slot(c addr.Coord, alloc bool) *uint64 {
+	w := m.word(c)
+	page := w / pageWords
+	p, ok := m.pages[page]
+	if !ok {
+		if !alloc {
+			return nil
+		}
+		p = make([]uint64, pageWords)
+		m.pages[page] = p
+	}
+	return &p[w%pageWords]
+}
+
+// ReadCoord returns the word at a physical coordinate, noting the access
+// orientation for accounting.
+func (m *Memory) ReadCoord(c addr.Coord, o addr.Orientation) uint64 {
+	m.reads[o]++
+	if m.observer != nil {
+		m.observer(c, o, false)
+	}
+	if s := m.slot(c, false); s != nil {
+		return *s
+	}
+	return 0
+}
+
+// WriteCoord stores a word at a physical coordinate.
+func (m *Memory) WriteCoord(c addr.Coord, o addr.Orientation, v uint64) {
+	m.writes[o]++
+	if m.observer != nil {
+		m.observer(c, o, true)
+	}
+	*m.slot(c, true) = v
+}
+
+// ReadWord reads through an encoded address of the given orientation —
+// the software-visible load / cload.
+func (m *Memory) ReadWord(a uint32, o addr.Orientation) uint64 {
+	return m.ReadCoord(m.geom.Decode(a, o), o)
+}
+
+// WriteWord writes through an encoded address — the store / cstore.
+func (m *Memory) WriteWord(a uint32, o addr.Orientation, v uint64) {
+	m.WriteCoord(m.geom.Decode(a, o), o, v)
+}
+
+// ReadLine reads the 64-byte line containing address a in orientation o:
+// 8 consecutive words along a row for Row, down a column for Column.
+func (m *Memory) ReadLine(a uint32, o addr.Orientation) [addr.LineWords]uint64 {
+	var out [addr.LineWords]uint64
+	id := m.geom.LineOf(m.geom.Decode(a, o), o)
+	for i := 0; i < addr.LineWords; i++ {
+		out[i] = m.ReadCoord(id.WordCoord(i), o)
+	}
+	return out
+}
+
+// Counts reports word accesses by orientation.
+type Counts struct {
+	RowReads, RowWrites int64
+	ColReads, ColWrites int64
+}
+
+// Counts returns the access counters.
+func (m *Memory) Counts() Counts {
+	return Counts{
+		RowReads: m.reads[addr.Row], RowWrites: m.writes[addr.Row],
+		ColReads: m.reads[addr.Column], ColWrites: m.writes[addr.Column],
+	}
+}
+
+// ResetCounts zeroes the access counters.
+func (m *Memory) ResetCounts() {
+	m.reads = [2]int64{}
+	m.writes = [2]int64{}
+}
+
+// FootprintBytes returns the allocated backing storage.
+func (m *Memory) FootprintBytes() int64 {
+	return int64(len(m.pages)) * pageWords * addr.WordBytes
+}
+
+func (m *Memory) String() string {
+	c := m.Counts()
+	return fmt.Sprintf("funcmem: %d pages, reads row/col %d/%d, writes %d/%d",
+		len(m.pages), c.RowReads, c.ColReads, c.RowWrites, c.ColWrites)
+}

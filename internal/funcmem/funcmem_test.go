@@ -1,0 +1,125 @@
+package funcmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/device"
+)
+
+func newMem(t *testing.T) *Memory {
+	t.Helper()
+	m, err := New(device.NVMGeometry(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := newMem(t)
+	if got := m.ReadCoord(addr.Coord{Row: 7, Column: 9}, addr.Row); got != 0 {
+		t.Fatalf("fresh word = %d", got)
+	}
+	if m.FootprintBytes() != 0 {
+		t.Fatal("read allocated storage")
+	}
+}
+
+// TestDualViewAgreement is THE semantic contract: a word written through
+// either orientation reads back identically through both.
+func TestDualViewAgreement(t *testing.T) {
+	m := newMem(t)
+	geom := m.Geom()
+	prop := func(row, col uint16, v uint64, viaCol bool) bool {
+		c := addr.Coord{Row: uint32(row) % 1024, Column: uint32(col) % 1024}
+		rowAddr := geom.Encode(c, addr.Row)
+		colAddr := geom.Encode(c, addr.Column)
+		if viaCol {
+			m.WriteWord(colAddr, addr.Column, v)
+		} else {
+			m.WriteWord(rowAddr, addr.Row, v)
+		}
+		return m.ReadWord(rowAddr, addr.Row) == v && m.ReadWord(colAddr, addr.Column) == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadLineOrientations(t *testing.T) {
+	m := newMem(t)
+	geom := m.Geom()
+	// Fill an 8x8 block with distinctive values.
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			m.WriteCoord(addr.Coord{Row: uint32(r), Column: uint32(c)}, addr.Row, uint64(r*100+c))
+		}
+	}
+	rowLine := m.ReadLine(geom.Encode(addr.Coord{Row: 3, Column: 0}, addr.Row), addr.Row)
+	for i, v := range rowLine {
+		if v != uint64(300+i) {
+			t.Fatalf("row line word %d = %d", i, v)
+		}
+	}
+	colLine := m.ReadLine(geom.Encode(addr.Coord{Row: 0, Column: 5}, addr.Column), addr.Column)
+	for i, v := range colLine {
+		if v != uint64(i*100+5) {
+			t.Fatalf("col line word %d = %d", i, v)
+		}
+	}
+}
+
+func TestCountsAndObserver(t *testing.T) {
+	m := newMem(t)
+	var seen []addr.Orientation
+	m.SetObserver(func(c addr.Coord, o addr.Orientation, write bool) {
+		seen = append(seen, o)
+	})
+	c := addr.Coord{Row: 1, Column: 2}
+	m.WriteCoord(c, addr.Row, 42)
+	m.ReadCoord(c, addr.Column)
+	m.ReadCoord(c, addr.Row)
+	got := m.Counts()
+	if got.RowWrites != 1 || got.ColReads != 1 || got.RowReads != 1 || got.ColWrites != 0 {
+		t.Fatalf("counts = %+v", got)
+	}
+	if len(seen) != 3 || seen[0] != addr.Row || seen[1] != addr.Column {
+		t.Fatalf("observer saw %v", seen)
+	}
+	m.ResetCounts()
+	if m.Counts() != (Counts{}) {
+		t.Fatal("reset failed")
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSparseAllocation(t *testing.T) {
+	m := newMem(t)
+	m.WriteCoord(addr.Coord{Row: 0, Column: 0}, addr.Row, 1)
+	m.WriteCoord(addr.Coord{Channel: 1, Rank: 3, Bank: 7, Subarray: 7, Row: 1023, Column: 1023}, addr.Row, 2)
+	// Two far-apart words: two pages, not 4 GB.
+	if got := m.FootprintBytes(); got != 2*(1<<12)*8 {
+		t.Fatalf("footprint = %d", got)
+	}
+}
+
+func TestDistinctBanksDistinctStorage(t *testing.T) {
+	m := newMem(t)
+	a := addr.Coord{Bank: 0, Row: 5, Column: 5}
+	b := addr.Coord{Bank: 1, Row: 5, Column: 5}
+	m.WriteCoord(a, addr.Row, 111)
+	m.WriteCoord(b, addr.Row, 222)
+	if m.ReadCoord(a, addr.Row) != 111 || m.ReadCoord(b, addr.Row) != 222 {
+		t.Fatal("bank aliasing")
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	if _, err := New(addr.Geometry{RowBits: 30, ColumnBits: 30}); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}

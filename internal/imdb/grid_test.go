@@ -1,0 +1,75 @@
+package imdb
+
+import (
+	"testing"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/device"
+)
+
+func TestGridPlacementFlattening(t *testing.T) {
+	a := NewGridAllocator(device.DRAMGeometry())
+	tbl := NewTable(Uniform("m", 16), 100_000)
+	p, err := a.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual ColMajor: tuple 0 word 0 at grid 0 (0,0) -> address 0;
+	// tuple 1 word 0 one virtual row below -> 1024 words later.
+	a0 := p.Geom().Encode(p.Cell(0, 0), addr.Row)
+	a1 := p.Geom().Encode(p.Cell(1, 0), addr.Row)
+	if a0 != 0 {
+		t.Errorf("cell(0,0) at %#x, want 0", a0)
+	}
+	if a1 != 1024*8 {
+		t.Errorf("cell(1,0) at %#x, want %#x (one grid row below)", a1, 1024*8)
+	}
+	if p.ScanOrient(0) != addr.Row || p.FetchOrient(0) != addr.Row {
+		t.Error("grid placement on linear memory must be row-only")
+	}
+}
+
+func TestGridRowMajorMatchesLinear(t *testing.T) {
+	// Row-major grid layout with 16-word tuples is byte-identical to a
+	// plain linear row store (64 tuples * 128 B = one 8 KiB grid row).
+	ga := NewGridAllocator(device.DRAMGeometry())
+	tbl := NewTable(Uniform("m", 16), 10_000)
+	gp, err := ga.Place(tbl, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := NewLinearAllocator(device.DRAMGeometry())
+	lp, err := la.Place(NewTable(Uniform("m", 16), 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range []int{0, 1, 63, 64, 9999} {
+		for _, w := range []int{0, 7, 15} {
+			g := gp.Geom().Encode(gp.Cell(tu, w), addr.Row)
+			l := lp.Geom().Encode(lp.Cell(tu, w), addr.Row)
+			if g != l {
+				t.Fatalf("tuple %d word %d: grid %#x vs linear %#x", tu, w, g, l)
+			}
+		}
+	}
+}
+
+func TestGridNoCollisions(t *testing.T) {
+	a := NewGridAllocator(device.DRAMGeometry())
+	tbl := NewTable(Uniform("m", 16), 70_000) // spans two grids
+	p, err := a.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[addr.Coord]bool)
+	for tu := 0; tu < 70_000; tu += 7 {
+		c := p.Cell(tu, 3)
+		if seen[c] {
+			t.Fatalf("collision at tuple %d", tu)
+		}
+		seen[c] = true
+	}
+	if f, n := p.ChunkRange(69_999); f != 65536 || n != 70_000-65536 {
+		t.Errorf("chunk range = %d,%d", f, n)
+	}
+}

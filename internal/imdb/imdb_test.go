@@ -1,0 +1,312 @@
+package imdb
+
+import (
+	"testing"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/device"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := Uniform("table-a", 16)
+	if got := s.TupleWords(); got != 16 {
+		t.Errorf("tuple words = %d, want 16", got)
+	}
+	if s.FieldIndex("f10") != 9 {
+		t.Errorf("f10 index = %d, want 9", s.FieldIndex("f10"))
+	}
+	off, w, err := s.FieldOffset("f10")
+	if err != nil || off != 9 || w != 1 {
+		t.Errorf("f10 offset = %d,%d,%v", off, w, err)
+	}
+	if _, _, err := s.FieldOffset("nope"); err == nil {
+		t.Error("missing field should error")
+	}
+}
+
+func TestWideSchema(t *testing.T) {
+	s := Schema{Name: "table-c", Fields: []Field{
+		{Name: "f1", Words: 1},
+		{Name: "f2_wide", Words: 2},
+		{Name: "f3", Words: 1},
+		{Name: "f4", Words: 2},
+		{Name: "f5", Words: 2},
+	}}
+	if got := s.TupleWords(); got != 8 {
+		t.Errorf("tuple words = %d, want 8", got)
+	}
+	off, w, _ := s.FieldOffset("f4")
+	if off != 4 || w != 2 {
+		t.Errorf("f4 at %d width %d, want 4 width 2", off, w)
+	}
+}
+
+func TestTableBytes(t *testing.T) {
+	tbl := NewTable(Uniform("table-a", 16), 1000)
+	if got := tbl.Bytes(); got != 1000*16*8 {
+		t.Errorf("bytes = %d", got)
+	}
+}
+
+func TestLinearPlacement(t *testing.T) {
+	geom := device.DRAMGeometry()
+	alloc := NewLinearAllocator(geom)
+	tbl := NewTable(Uniform("table-a", 16), 1000)
+	p, err := alloc.Place(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple 0 word 0 at address 0; tuple 1 starts 16 words later.
+	c00 := p.Cell(0, 0)
+	if geom.Encode(c00, addr.Row) != 0 {
+		t.Errorf("cell(0,0) at %#x, want 0", geom.Encode(c00, addr.Row))
+	}
+	c10 := p.Cell(1, 0)
+	if got := geom.Encode(c10, addr.Row); got != 16*8 {
+		t.Errorf("cell(1,0) at %#x, want %#x", got, 16*8)
+	}
+	if p.ScanOrient(0) != addr.Row || p.FetchOrient(0) != addr.Row {
+		t.Error("linear placement must be row-oriented")
+	}
+	if first, n := p.ChunkRange(500); first != 0 || n != 1000 {
+		t.Errorf("chunk range = %d,%d", first, n)
+	}
+	if got := p.TuplesPerDeviceRow(); got != 16 {
+		t.Errorf("tuples per DRAM row = %d, want 16 (256 words / 16)", got)
+	}
+}
+
+func TestLinearAllocatorSeparatesTables(t *testing.T) {
+	geom := device.DRAMGeometry()
+	alloc := NewLinearAllocator(geom)
+	a, err := alloc.Place(NewTable(Uniform("a", 16), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := alloc.Place(NewTable(Uniform("b", 20), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endA := geom.Encode(a.Cell(99, 15), addr.Row)
+	startB := geom.Encode(b.Cell(0, 0), addr.Row)
+	if startB <= endA {
+		t.Errorf("table b starts at %#x, inside table a (ends %#x)", startB, endA)
+	}
+	// Row alignment.
+	if startB%uint32(geom.RowBytes()) != 0 {
+		t.Errorf("table b base %#x not row aligned", startB)
+	}
+}
+
+func TestLinearAllocatorCapacity(t *testing.T) {
+	geom := device.DRAMGeometry()
+	alloc := NewLinearAllocator(geom)
+	huge := NewTable(Uniform("huge", 16), 1<<26) // 8 GiB
+	if _, err := alloc.Place(huge); err == nil {
+		t.Fatal("oversized table accepted")
+	}
+}
+
+func TestColMajorAdjacency(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("table-a", 16), 100_000)
+	p, err := alloc.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 13(b): the same field of consecutive tuples occupies
+	// consecutive rows of one column.
+	c0 := p.Cell(0, 9)
+	c1 := p.Cell(1, 9)
+	if c0.Column != c1.Column || c1.Row != c0.Row+1 {
+		t.Errorf("field not column-contiguous: %+v then %+v", c0, c1)
+	}
+	// The words of one tuple lie along a row.
+	w0 := p.Cell(5, 0)
+	w1 := p.Cell(5, 1)
+	if w0.Row != w1.Row || w1.Column != w0.Column+1 {
+		t.Errorf("tuple not row-contiguous: %+v then %+v", w0, w1)
+	}
+	if p.ScanOrient(0) != addr.Column {
+		t.Errorf("scan orient = %v, want column", p.ScanOrient(0))
+	}
+	if p.FetchOrient(0) != addr.Row {
+		t.Errorf("fetch orient = %v, want row", p.FetchOrient(0))
+	}
+}
+
+func TestRowMajorAdjacency(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("table-a", 16), 100_000)
+	p, err := alloc.Place(tbl, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 13(a): consecutive tuples side by side along a row.
+	c0 := p.Cell(0, 0)
+	c1 := p.Cell(1, 0)
+	if c0.Row != c1.Row || c1.Column != c0.Column+16 {
+		t.Errorf("tuples not packed along rows: %+v then %+v", c0, c1)
+	}
+	// 64 tuples per row (1024/16); tuple 64 wraps to the next row.
+	c64 := p.Cell(64, 0)
+	if c64.Row != c0.Row+1 || c64.Column != c0.Column {
+		t.Errorf("row wrap wrong: %+v", c64)
+	}
+	if p.ScanOrient(0) != addr.Row {
+		t.Errorf("scan orient = %v, want row", p.ScanOrient(0))
+	}
+}
+
+// TestNoCellCollisions: every (tuple, word) of both layouts maps to a
+// distinct physical word, also across two tables sharing the allocator.
+func TestNoCellCollisions(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	ta := NewTable(Uniform("a", 16), 3000)
+	tb := NewTable(Uniform("b", 20), 2000)
+	pa, err := alloc.Place(ta, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := alloc.Place(tb, RowMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[addr.Coord]string)
+	check := func(name string, p Placement, tuples, words int) {
+		for tu := 0; tu < tuples; tu++ {
+			for w := 0; w < words; w++ {
+				c := p.Cell(tu, w)
+				if prev, ok := seen[c]; ok {
+					t.Fatalf("%s tuple %d word %d collides with %s at %+v", name, tu, w, prev, c)
+				}
+				seen[c] = name
+			}
+		}
+	}
+	check("a", pa, 3000, 16)
+	check("b", pb, 2000, 20)
+}
+
+func TestCellBoundsInSubarray(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("a", 16), 200_000)
+	p, err := alloc.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range []int{0, 1, 65535, 65536, 131071, 199999} {
+		for _, w := range []int{0, 15} {
+			c := p.Cell(tu, w)
+			if int(c.Row) >= geom.Rows() || int(c.Column) >= geom.Columns() {
+				t.Fatalf("cell (%d,%d) out of subarray bounds: %+v", tu, w, c)
+			}
+		}
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	// 64 tuples/row-group * 1024 rows = 65536 tuples per subarray chunk.
+	tbl := NewTable(Uniform("a", 16), 256*1024)
+	p, err := alloc.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chunks() != 4 {
+		t.Errorf("chunks = %d, want 4", p.Chunks())
+	}
+	first, n := p.ChunkRange(70000)
+	if first != 65536 || n != 65536 {
+		t.Errorf("chunk range of tuple 70000 = %d,%d", first, n)
+	}
+	if alloc.SubarraysUsed() != 4 {
+		t.Errorf("subarrays used = %d, want 4", alloc.SubarraysUsed())
+	}
+}
+
+func TestChunksSpreadAcrossBanks(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("a", 16), 256*1024)
+	p, err := alloc.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banks := make(map[[3]uint32]bool)
+	for i := 0; i < 4; i++ {
+		c := p.Cell(i*65536, 0)
+		banks[[3]uint32{c.Channel, c.Rank, c.Bank}] = true
+	}
+	if len(banks) < 4 {
+		t.Errorf("4 chunks landed on %d distinct banks, want 4 (interleaving)", len(banks))
+	}
+}
+
+func TestTupleLongerThanRowRejected(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("wide", 2000), 10)
+	if _, err := alloc.Place(tbl, ColMajor); err == nil {
+		t.Fatal("tuple longer than a row must be rejected")
+	}
+}
+
+func TestNVMCapacityExhaustion(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	// 512 subarrays of 64K tuples (16-word) each: place a table needing
+	// more.
+	tbl := NewTable(Uniform("big", 16), 513*65536)
+	if _, err := alloc.Place(tbl, ColMajor); err == nil {
+		t.Fatal("over-capacity table accepted")
+	}
+}
+
+func TestCellPanicsOutOfRange(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("a", 16), 100)
+	p, _ := alloc.Place(tbl, ColMajor)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Cell(100, 0)
+}
+
+func TestLayoutString(t *testing.T) {
+	if RowMajor.String() != "row-major" || ColMajor.String() != "col-major" {
+		t.Error("layout strings wrong")
+	}
+}
+
+// TestPartialChunkColMajor: a table smaller than one subarray still maps
+// correctly (short column groups).
+func TestPartialChunkColMajor(t *testing.T) {
+	geom := device.NVMGeometry(true)
+	alloc := NewNVMAllocator(geom)
+	tbl := NewTable(Uniform("small", 16), 1500)
+	p, err := alloc.Place(tbl, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Chunks() != 1 {
+		t.Fatalf("chunks = %d, want 1", p.Chunks())
+	}
+	// 1500 tuples: group 0 holds 1024, group 1 holds 476.
+	cells := make(map[addr.Coord]bool)
+	for tu := 0; tu < 1500; tu++ {
+		c := p.Cell(tu, 3)
+		if cells[c] {
+			t.Fatalf("duplicate cell for tuple %d", tu)
+		}
+		cells[c] = true
+	}
+}

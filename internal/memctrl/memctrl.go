@@ -1,0 +1,240 @@
+// Package memctrl implements the per-channel memory controllers of the
+// simulated system: a request queue scheduled with FR-FCFS (first-ready,
+// first-come-first-served — buffer hits are promoted over older requests,
+// as in Table 1), per-bank occupancy tracking, and data-bus arbitration.
+// Write-backs travel through the same queues at lower priority than demand
+// requests.
+package memctrl
+
+import (
+	"fmt"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/device"
+	"rcnvm/internal/event"
+	"rcnvm/internal/stats"
+)
+
+// Request is one 64-byte memory transaction.
+type Request struct {
+	Coord  addr.Coord
+	Orient addr.Orientation
+	Write  bool
+	// Writeback marks an eviction write-back: scheduled at lower priority
+	// and usually fire-and-forget (nil Done).
+	Writeback bool
+	// Gather marks a GS-DRAM gathered access: one 64-byte transfer
+	// assembling 8 strided words from the open row. Timing-wise it is a
+	// row access to Coord.
+	Gather bool
+	// Done, if non-nil, is invoked when the data transfer completes.
+	Done func(finish int64)
+
+	arrive int64
+}
+
+// Policy selects the scheduling policy.
+type Policy uint8
+
+const (
+	// FRFCFS promotes buffer hits over older requests (Table 1).
+	FRFCFS Policy = iota
+	// FCFS serves strictly oldest-first (the ablation baseline).
+	FCFS
+)
+
+// Controller schedules requests for one channel.
+type Controller struct {
+	eng    *event.Engine
+	dev    *device.Device
+	st     *stats.Set
+	window int
+	policy Policy
+
+	queue     []*Request
+	busFreeAt int64
+	bankBusy  []bool
+}
+
+// DefaultWindow is the FR-FCFS scheduling window: the 32-entry request
+// queue of Table 1.
+const DefaultWindow = 32
+
+// StarvationLimitPs caps how long FR-FCFS may bypass an old request in
+// favour of buffer hits: once the oldest issuable request has waited this
+// long, it is served regardless (the standard anti-starvation cap real
+// FR-FCFS controllers carry).
+const StarvationLimitPs = 2_000_000 // 2 us
+
+// NewController creates a controller for one channel of dev.
+func NewController(eng *event.Engine, dev *device.Device, st *stats.Set, window int) *Controller {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Controller{
+		eng:      eng,
+		dev:      dev,
+		st:       st,
+		window:   window,
+		bankBusy: make([]bool, dev.Config().Geom.TotalBanks()),
+	}
+}
+
+// SetPolicy switches the scheduling policy (before traffic starts).
+func (c *Controller) SetPolicy(p Policy) { c.policy = p }
+
+// Submit enqueues a request at the current simulation time.
+func (c *Controller) Submit(r *Request) {
+	if r.Gather && !c.dev.Config().SupportsGather() {
+		panic(fmt.Sprintf("memctrl: gather request on %s", c.dev.Config().Kind))
+	}
+	r.arrive = c.eng.Now()
+	c.queue = append(c.queue, r)
+	c.st.Max(stats.QueueMaxOccupancy, int64(len(c.queue)))
+	c.schedule()
+}
+
+// Pending returns the number of queued (not yet issued) requests.
+func (c *Controller) Pending() int { return len(c.queue) }
+
+// schedule issues every request it can: repeatedly pick the best issuable
+// request in the scheduling window until none remains.
+func (c *Controller) schedule() {
+	for {
+		idx := c.pick()
+		if idx < 0 {
+			return
+		}
+		r := c.queue[idx]
+		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		c.issue(r)
+	}
+}
+
+// pick returns the index of the best issuable request within the window:
+// demand before write-back, buffer hits before misses, then oldest first.
+// It returns -1 when nothing can be issued (all candidate banks busy).
+func (c *Controller) pick() int {
+	limit := len(c.queue)
+	if limit > c.window {
+		limit = c.window
+	}
+	best := -1
+	bestHit := false
+	bestDemand := false
+	sawOlderMiss := false
+	now := c.eng.Now()
+	for i := 0; i < limit; i++ {
+		r := c.queue[i]
+		bank := c.dev.Config().Geom.BankID(r.Coord)
+		if c.bankBusy[bank] {
+			continue
+		}
+		// Anti-starvation: a demand request that has waited past the limit
+		// is served first, oldest first.
+		if !r.Writeback && now-r.arrive > StarvationLimitPs {
+			c.st.Inc(stats.SchedStarved)
+			return i
+		}
+		hit := c.policy == FRFCFS && c.dev.WouldHit(r.Coord, r.Orient)
+		demand := !r.Writeback
+		better := false
+		switch {
+		case best == -1:
+			better = true
+		case demand != bestDemand:
+			better = demand
+		case hit != bestHit:
+			better = hit
+		}
+		if better {
+			if best != -1 && hit && !bestHit {
+				sawOlderMiss = true
+			}
+			best, bestHit, bestDemand = i, hit, demand
+		}
+	}
+	if best >= 0 && bestHit && (sawOlderMiss || best > 0) {
+		// The scheduler promoted a buffer hit over at least one older
+		// request: count the FR-FCFS reordering.
+		c.st.Inc(stats.SchedFRHits)
+	}
+	return best
+}
+
+// issue runs one request through the device and the channel data bus.
+func (c *Controller) issue(r *Request) {
+	bank := c.dev.Config().Geom.BankID(r.Coord)
+	res := c.dev.Access(c.eng.Now(), r.Coord, r.Orient, r.Write)
+
+	transferStart := res.DataAt
+	if c.busFreeAt > transferStart {
+		transferStart = c.busFreeAt
+	}
+	finish := transferStart + c.dev.Config().Timing.BurstPs()
+	c.busFreeAt = finish
+
+	switch {
+	case r.Gather:
+		c.st.Inc(stats.MemGathers)
+		c.st.Inc(stats.MemReads)
+	case r.Writeback:
+		c.st.Inc(stats.MemWritebacks)
+	case r.Write:
+		c.st.Inc(stats.MemWrites)
+	default:
+		c.st.Inc(stats.MemReads)
+	}
+
+	c.bankBusy[bank] = true
+	done := r.Done
+	// The bank accepts its next command at ReadyAt (command pipelining);
+	// the requester sees data only when the bus transfer completes.
+	c.eng.At(res.ReadyAt, func() {
+		c.bankBusy[bank] = false
+		c.schedule()
+	})
+	if done != nil {
+		c.eng.At(finish, func() { done(finish) })
+	}
+}
+
+// Router fans requests out to the per-channel controllers of one device.
+type Router struct {
+	ctrls []*Controller
+	dev   *device.Device
+}
+
+// NewRouter builds one controller per channel of dev.
+func NewRouter(eng *event.Engine, dev *device.Device, st *stats.Set, window int) *Router {
+	n := dev.Config().Geom.Channels()
+	ctrls := make([]*Controller, n)
+	for i := range ctrls {
+		ctrls[i] = NewController(eng, dev, st, window)
+	}
+	return &Router{ctrls: ctrls, dev: dev}
+}
+
+// SetPolicy switches every channel's scheduling policy.
+func (r *Router) SetPolicy(p Policy) {
+	for _, c := range r.ctrls {
+		c.SetPolicy(p)
+	}
+}
+
+// Submit routes the request to its channel's controller.
+func (r *Router) Submit(req *Request) {
+	r.ctrls[req.Coord.Channel].Submit(req)
+}
+
+// Pending returns the total queued requests across channels.
+func (r *Router) Pending() int {
+	n := 0
+	for _, c := range r.ctrls {
+		n += c.Pending()
+	}
+	return n
+}
+
+// Device returns the routed device.
+func (r *Router) Device() *device.Device { return r.dev }

@@ -1,0 +1,81 @@
+package query
+
+import (
+	"sort"
+
+	"rcnvm/internal/imdb"
+)
+
+// partition assigns table regions to cores. Chunked placements are
+// distributed round-robin by chunk, so that each core's work stays on a
+// stable set of banks and channels (avoiding the lockstep channel
+// contention of contiguous splits); placements with few chunks fall back
+// to an even contiguous split.
+type partition struct {
+	// ranges are the [lo,hi) tuple regions in ascending order; coreOf[i]
+	// is the owning core of ranges[i].
+	ranges [][2]int
+	coreOf []int
+	cores  int
+}
+
+func (e *Executor) partition(p imdb.Placement) *partition {
+	n := p.Table().Tuples
+	var chunks [][2]int
+	for t := 0; t < n; {
+		f, cn := p.ChunkRange(t)
+		hi := f + cn
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, [2]int{f, hi})
+		t = hi
+	}
+	pt := &partition{cores: e.cores}
+	if len(chunks) >= 2*e.cores {
+		pt.ranges = chunks
+		pt.coreOf = make([]int, len(chunks))
+		for i := range chunks {
+			pt.coreOf[i] = i % e.cores
+		}
+		return pt
+	}
+	// Contiguous fallback (linear row stores are one big chunk).
+	for i, r := range e.splitRange(n) {
+		if r[1] > r[0] {
+			pt.ranges = append(pt.ranges, [2]int{r[0], r[1]})
+			pt.coreOf = append(pt.coreOf, i)
+		}
+	}
+	return pt
+}
+
+// perCore returns each core's list of regions.
+func (pt *partition) perCore() [][][2]int {
+	out := make([][][2]int, pt.cores)
+	for i, r := range pt.ranges {
+		c := pt.coreOf[i]
+		out[c] = append(out[c], r)
+	}
+	return out
+}
+
+// ownerOf returns the core owning tuple t.
+func (pt *partition) ownerOf(t int) int {
+	i := sort.Search(len(pt.ranges), func(i int) bool { return pt.ranges[i][1] > t })
+	if i >= len(pt.ranges) {
+		i = len(pt.ranges) - 1
+	}
+	return pt.coreOf[i]
+}
+
+// splitMatches distributes a sorted match list to the owning cores,
+// preserving order within each core.
+func (pt *partition) splitMatches(matches []int) [][]int {
+	out := make([][]int, pt.cores)
+	for _, t := range matches {
+		c := pt.ownerOf(t)
+		out[c] = append(out[c], t)
+	}
+	return out
+}

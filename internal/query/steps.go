@@ -1,0 +1,500 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/imdb"
+	"rcnvm/internal/trace"
+)
+
+// fieldSpan is a resolved field: absolute word offset and width.
+type fieldSpan struct {
+	off, words int
+}
+
+func resolveFields(p imdb.Placement, fields []string) ([]fieldSpan, error) {
+	spans := make([]fieldSpan, 0, len(fields))
+	for _, f := range fields {
+		off, w, err := p.Table().Schema.FieldOffset(f)
+		if err != nil {
+			return nil, err
+		}
+		spans = append(spans, fieldSpan{off: off, words: w})
+	}
+	return spans, nil
+}
+
+// wordSlots flattens the spans into the list of absolute word offsets.
+func wordSlots(spans []fieldSpan) []int {
+	var out []int
+	for _, s := range spans {
+		for k := 0; k < s.words; k++ {
+			out = append(out, s.off+k)
+		}
+	}
+	return out
+}
+
+// slotTracker dedupes per-word-slot line emissions: a load is emitted only
+// when that slot's cursor moves to a new cache line (earlier touches of the
+// same line hit in L1 and need no trace op).
+type slotTracker struct {
+	last  []addr.LineID
+	valid []bool
+}
+
+func newSlotTracker(n int) *slotTracker {
+	return &slotTracker{last: make([]addr.LineID, n), valid: make([]bool, n)}
+}
+
+func (s *slotTracker) fresh(slot int, id addr.LineID) bool {
+	if s.valid[slot] && s.last[slot] == id {
+		return false
+	}
+	s.last[slot] = id
+	s.valid[slot] = true
+	return true
+}
+
+// scanAccess describes how the backend reads one field over many tuples.
+type scanAccess struct {
+	orient addr.Orientation
+	// permuted is true when the unordered RC-NVM scan iterates the
+	// row-major layout column-by-column (k-major) instead of tuple order.
+	permuted bool
+}
+
+func (e *Executor) scanAccessFor(p imdb.Placement, t int, ordered bool) scanAccess {
+	if e.arch != RCNVM {
+		return scanAccess{orient: addr.Row}
+	}
+	np, ok := p.(*imdb.NVMPlacement)
+	if !ok {
+		return scanAccess{orient: addr.Row}
+	}
+	if ordered || np.Layout() == imdb.ColMajor {
+		return scanAccess{orient: p.ScanOrient(t)}
+	}
+	// Row-major layout, order-free scan: walk physical columns (every
+	// tpr-th tuple), which is the perpendicular of the tuple-adjacency
+	// direction.
+	return scanAccess{orient: p.ScanOrient(t).Perp(), permuted: true}
+}
+
+// ScanFields reads (or, with write set, rewrites) the given fields of
+// every tuple, charging perTuple compute cycles. When ordered is false the
+// backend may reorder accesses for locality (aggregates, predicate scans);
+// ordered scans visit tuples in ascending order.
+func (e *Executor) ScanFields(p imdb.Placement, fields []string, ordered, write bool, perTuple int64) error {
+	spans, err := resolveFields(p, fields)
+	if err != nil {
+		return err
+	}
+	for core, regions := range e.partition(p).perCore() {
+		for _, r := range regions {
+			e.scanRange(core, p, spans, r[0], r[1], ordered, write, perTuple)
+		}
+	}
+	return nil
+}
+
+// ScanField is the single-field convenience form of a read scan.
+func (e *Executor) ScanField(p imdb.Placement, field string, ordered bool, perTuple int64) error {
+	return e.ScanFields(p, []string{field}, ordered, false, perTuple)
+}
+
+// ScanTuples visits every tuple in order, touching all of its words in the
+// whole-tuple direction — the row-direction micro-benchmark pass of
+// Figure 17.
+func (e *Executor) ScanTuples(p imdb.Placement, write bool, perTuple int64) error {
+	L := p.Table().Schema.TupleWords()
+	for core, regions := range e.partition(p).perCore() {
+		for _, r := range regions {
+			for t := r[0]; t < r[1]; t++ {
+				o := addr.Row
+				if e.arch == RCNVM {
+					o = p.FetchOrient(t)
+				}
+				e.touchSpan(core, p, t, 0, L, o, write)
+				e.emitCompute(core, perTuple)
+			}
+		}
+	}
+	return nil
+}
+
+// ScanColumns visits every word of the table in field-major order (all
+// tuples' word 0, then word 1, ...) — the column-direction micro-benchmark
+// pass of Figure 17. Order-free within each word column.
+func (e *Executor) ScanColumns(p imdb.Placement, write bool, perCell int64) error {
+	L := p.Table().Schema.TupleWords()
+	pt := e.partition(p).perCore()
+	for w := 0; w < L; w++ {
+		spans := []fieldSpan{{off: w, words: 1}}
+		for core, regions := range pt {
+			for _, r := range regions {
+				e.scanRange(core, p, spans, r[0], r[1], false, write, perCell)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Executor) scanRange(core int, p imdb.Placement, spans []fieldSpan, first, last int, ordered, write bool, perTuple int64) {
+	if last <= first {
+		return
+	}
+	// GS-DRAM gather path: one access per 8 consecutive tuples (reads
+	// only).
+	if len(spans) == 1 && !write {
+		if lp, ok := e.gatherEligible(p, spans[0].words); ok {
+			e.gatherRange(core, lp, spans[0].off, first, last, perTuple)
+			return
+		}
+	}
+
+	slots := wordSlots(spans)
+	geom := p.Geom()
+	acc := e.scanAccessFor(p, first, ordered)
+
+	if acc.permuted {
+		// Column-by-column over each chunk of a row-major layout.
+		L := p.Table().Schema.TupleWords()
+		tpr := geom.Columns() / L
+		for t := first; t < last; {
+			cf, cn := p.ChunkRange(t)
+			lo, hi := maxInt(first, cf), minInt(last, cf+cn)
+			tr := newSlotTracker(len(slots))
+			for k := 0; k < tpr; k++ {
+				// Tuples with (t-cf) % tpr == k share a physical column;
+				// walk that column top to bottom.
+				start := cf + k
+				if start < lo {
+					start += (lo - start + tpr - 1) / tpr * tpr
+				}
+				for base := start; base < hi; base += tpr {
+					e.scanTuple(core, p, geom, slots, base, acc.orient, write, tr, perTuple)
+				}
+			}
+			t = cf + cn
+		}
+		return
+	}
+
+	tr := newSlotTracker(len(slots))
+	if !ordered && e.arch == RCNVM && len(slots) > 1 && acc.orient == addr.Column {
+		// Word-major reordering: finish one column before the next to
+		// avoid column-buffer thrash on wide fields (§5 rationale).
+		for t := first; t < last; {
+			cf, cn := p.ChunkRange(t)
+			lo, hi := maxInt(first, cf), minInt(last, cf+cn)
+			for si, w := range slots {
+				for tu := lo; tu < hi; tu++ {
+					c := p.Cell(tu, w)
+					if tr.fresh(si, geom.LineOf(c, acc.orient)) {
+						e.emit(core, trace.Op{Kind: e.accessKind(acc.orient, write), Coord: c})
+					}
+					if si == 0 {
+						e.emitCompute(core, perTuple)
+					}
+				}
+			}
+			t = cf + cn
+		}
+		return
+	}
+
+	for t := first; t < last; t++ {
+		e.scanTuple(core, p, geom, slots, t, acc.orient, write, tr, perTuple)
+	}
+}
+
+func (e *Executor) scanTuple(core int, p imdb.Placement, geom addr.Geometry, slots []int, t int, o addr.Orientation, write bool, tr *slotTracker, perTuple int64) {
+	for si, w := range slots {
+		c := p.Cell(t, w)
+		if tr.fresh(si, geom.LineOf(c, o)) {
+			e.emit(core, trace.Op{Kind: e.accessKind(o, write), Coord: c})
+		}
+	}
+	e.emitCompute(core, perTuple)
+}
+
+// gatherRange lowers a single-word scan to GS-DRAM gathers: each access
+// assembles the field of 8 consecutive tuples from the open row.
+func (e *Executor) gatherRange(core int, lp *imdb.LinearPlacement, off, first, last int, perTuple int64) {
+	for g := first / addr.LineWords; g*addr.LineWords < last; g++ {
+		t0 := g * addr.LineWords
+		if t0 < first {
+			t0 = first
+		}
+		hi := minInt(last, (g+1)*addr.LineWords)
+		e.gatherSeq++
+		e.emit(core, trace.GatherOp(lp.Cell(g*addr.LineWords, off), e.gatherSeq))
+		e.emitCompute(core, perTuple*int64(hi-t0))
+	}
+}
+
+// ScanMatches reads one field of the listed (sorted, ascending) tuples —
+// the aggregate-over-matches pattern (SUM/AVG ... WHERE). Order-free.
+func (e *Executor) ScanMatches(p imdb.Placement, field string, matches []int, perTuple int64) error {
+	spans, err := resolveFields(p, []string{field})
+	if err != nil {
+		return err
+	}
+	parts := e.partition(p).splitMatches(matches)
+	for core, ms := range parts {
+		if len(ms) == 0 {
+			continue
+		}
+		if spans[0].words == 1 {
+			if lp, ok := e.gatherEligible(p, 1); ok {
+				e.gatherMatches(core, lp, spans[0].off, ms, perTuple)
+				continue
+			}
+		}
+		acc := e.scanAccessFor(p, ms[0], false)
+		slots := wordSlots(spans)
+		tr := newSlotTracker(len(slots))
+		geom := p.Geom()
+		for _, t := range ms {
+			e.scanTuple(core, p, geom, slots, t, acc.orient, false, tr, perTuple)
+		}
+	}
+	return nil
+}
+
+func (e *Executor) gatherMatches(core int, lp *imdb.LinearPlacement, off int, matches []int, perTuple int64) {
+	lastGroup := -1
+	for _, t := range matches {
+		g := t / addr.LineWords
+		if g != lastGroup {
+			e.gatherSeq++
+			e.emit(core, trace.GatherOp(lp.Cell(g*addr.LineWords, off), e.gatherSeq))
+			lastGroup = g
+		}
+		e.emitCompute(core, perTuple)
+	}
+}
+
+// FetchTuples reads the given fields of the listed tuples in the
+// whole-tuple (row) direction — the Figure 12 "select the row" step. On
+// RC-NVM the matches are visited in physical-buffer order (SELECT without
+// ORDER BY is order-free), so dense fetches reuse each open row across the
+// column groups sharing it instead of reopening a row per tuple.
+func (e *Executor) FetchTuples(p imdb.Placement, matches []int, fields []string, perField int64) error {
+	spans, err := resolveFields(p, fields)
+	if err != nil {
+		return err
+	}
+	totalWords := 0
+	for _, s := range spans {
+		totalWords += s.words
+	}
+	L := p.Table().Schema.TupleWords()
+	dense := 2*len(matches) >= p.Table().Tuples && 2*totalWords >= L
+	parts := e.partition(p).splitMatches(matches)
+	for core, ms := range parts {
+		if e.arch == RCNVM {
+			if dense {
+				// Dense fetches of most of the tuple read each chunk as a
+				// sequential physical sweep (one load per touched line, in
+				// address order): the pattern a storage engine's block
+				// reader produces, and the one the row buffer and the
+				// prefetcher like. SELECT without ORDER BY is order-free.
+				e.denseFetch(core, p, ms, spans, perField)
+				continue
+			}
+			ms = physicalOrder(p, ms)
+		}
+		for _, t := range ms {
+			o := addr.Row
+			if e.arch == RCNVM {
+				o = p.FetchOrient(t)
+			}
+			for _, s := range spans {
+				e.touchSpan(core, p, t, s.off, s.words, o, false)
+				e.emitCompute(core, perField)
+			}
+		}
+	}
+	return nil
+}
+
+// denseFetch reads the fields of a dense match set chunk by chunk as an
+// order-free column sweep (the word-major scan path): when most tuples are
+// wanted, scanning whole field columns costs the same traffic as row
+// fetches but runs at streaming buffer-hit rates. The few non-matching
+// tuples are simply overfetched.
+func (e *Executor) denseFetch(core int, p imdb.Placement, ms []int, spans []fieldSpan, perField int64) {
+	perTuple := perField * int64(len(spans))
+	for i := 0; i < len(ms); {
+		cf, cn := p.ChunkRange(ms[i])
+		j := i
+		for j < len(ms) && ms[j] < cf+cn {
+			j++
+		}
+		i = j
+		e.scanRange(core, p, spans, cf, cf+cn, false, false, perTuple)
+	}
+}
+
+// UpdateTuples writes the given fields of the listed tuples. Single-word
+// single-field updates use the field-scan orientation (column stores on
+// RC-NVM); multi-field updates use the whole-tuple direction.
+func (e *Executor) UpdateTuples(p imdb.Placement, matches []int, fields []string, perTuple int64) error {
+	spans, err := resolveFields(p, fields)
+	if err != nil {
+		return err
+	}
+	parts := e.partition(p).splitMatches(matches)
+	for core, ms := range parts {
+		for _, t := range ms {
+			var o addr.Orientation = addr.Row
+			if e.arch == RCNVM {
+				if len(spans) == 1 && spans[0].words == 1 {
+					o = e.scanAccessFor(p, t, false).orient
+				} else {
+					o = p.FetchOrient(t)
+				}
+			}
+			for _, s := range spans {
+				e.touchSpan(core, p, t, s.off, s.words, o, true)
+			}
+			e.emitCompute(core, perTuple)
+		}
+	}
+	return nil
+}
+
+// GroupRead reads the given fields of every tuple in strict tuple order —
+// the wide-field / multi-column ordered pattern of §5. On RC-NVM with
+// groupLines > 0 it applies group caching: per block of groupLines cache
+// lines per column, pinned column prefetches followed by in-cache
+// consumption, then unpinning.
+func (e *Executor) GroupRead(p imdb.Placement, fields []string, groupLines int, perTuple int64) error {
+	spans, err := resolveFields(p, fields)
+	if err != nil {
+		return err
+	}
+	slots := wordSlots(spans)
+	geom := p.Geom()
+	perCore := e.partition(p).perCore()
+
+	// GroupRead consumption is strictly ordered: the consuming operator
+	// processes tuples one at a time, so its memory accesses cannot be
+	// freely overlapped (the premise of §5).
+	e.orderedEmit = true
+	defer func() { e.orderedEmit = false }()
+
+	if e.arch != RCNVM || groupLines <= 0 {
+		// Plain ordered scan (tuple order, scan orientation).
+		for core, regions := range perCore {
+			for _, r := range regions {
+				e.scanRange(core, p, spans, r[0], r[1], true, false, perTuple)
+			}
+		}
+		return nil
+	}
+
+	for core, regions := range perCore {
+		for _, r := range regions {
+			first, last := r[0], r[1]
+			for t := first; t < last; {
+				cf, cn := p.ChunkRange(t)
+				lo, hi := maxInt(first, cf), minInt(last, cf+cn)
+				block := groupLines * addr.LineWords
+				for b := lo; b < hi; b += block {
+					bh := minInt(hi, b+block)
+					o := p.ScanOrient(b)
+					// Prefetch and pin, column-major: one line per 8
+					// tuples per word column. The prefetches are
+					// non-blocking; consumption runs right behind them
+					// (merging into in-flight fills when it catches up),
+					// so memory sees the buffer-friendly column-major
+					// order while the query consumes in tuple order.
+					for _, w := range slots {
+						for tu := b; tu < bh; tu += addr.LineWords {
+							c := p.Cell(tu, w)
+							e.emit(core, trace.Op{Kind: e.loadKind(o), Coord: c, Pin: true})
+						}
+					}
+					// Consume in strict tuple order from the pinned lines.
+					tr := newSlotTracker(len(slots))
+					for tu := b; tu < bh; tu++ {
+						e.scanTuple(core, p, geom, slots, tu, o, false, tr, perTuple)
+					}
+					e.emit(core, trace.UnpinAllOp())
+				}
+				t = cf + cn
+			}
+		}
+	}
+	return nil
+}
+
+// HashOps models hash-table traffic for joins: each listed slot of the
+// hash-table placement is touched (read or write) with perOp compute.
+func (e *Executor) HashOps(p imdb.Placement, slots []int, write bool, perOp int64) error {
+	L := p.Table().Schema.TupleWords()
+	parts := trace.Split(len(slots), e.cores)
+	for core, r := range parts {
+		for i := r[0]; i < r[1]; i++ {
+			s := slots[i]
+			if s < 0 || s >= p.Table().Tuples {
+				return fmt.Errorf("query: hash slot %d out of range", s)
+			}
+			e.touchSpan(core, p, s, 0, L, addr.Row, write)
+			e.emitCompute(core, perOp)
+		}
+	}
+	return nil
+}
+
+// physicalOrder re-sorts matched tuples by their physical buffer location
+// (chunk, then the buffer index of the tuple's first word in its fetch
+// orientation), so that tuples sharing an open row or column buffer are
+// visited back to back.
+func physicalOrder(p imdb.Placement, matches []int) []int {
+	if len(matches) < 2 {
+		return matches
+	}
+	type keyed struct {
+		key uint64
+		t   int
+	}
+	ks := make([]keyed, len(matches))
+	for i, t := range matches {
+		c := p.Cell(t, 0)
+		var major, minor uint32
+		if p.FetchOrient(t) == addr.Row {
+			major, minor = c.Row, c.Column
+		} else {
+			major, minor = c.Column, c.Row
+		}
+		// Chunk-major so each chunk's bank is drained before the next.
+		first, _ := p.ChunkRange(t)
+		ks[i] = keyed{key: uint64(first)<<40 | uint64(major)<<20 | uint64(minor), t: t}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]int, len(ks))
+	for i, k := range ks {
+		out[i] = k.t
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+// Package sim assembles the full-system simulator: trace-driven cores, the
+// 3-level cache hierarchy with RC-NVM synonym handling, per-channel FR-FCFS
+// memory controllers, and the memory device. One System instance simulates
+// one workload run on one machine configuration; create a fresh System per
+// run so that cache and buffer state start cold.
+package sim
+
+import (
+	"fmt"
+
+	"rcnvm/internal/cache"
+	"rcnvm/internal/config"
+	"rcnvm/internal/cpu"
+	"rcnvm/internal/device"
+	"rcnvm/internal/event"
+	"rcnvm/internal/memctrl"
+	"rcnvm/internal/stats"
+	"rcnvm/internal/trace"
+)
+
+// System is one wired machine instance.
+type System struct {
+	Cfg    config.System
+	Eng    *event.Engine
+	Dev    *device.Device
+	Router *memctrl.Router
+	Hier   *cache.Hierarchy
+	Runner *cpu.Runner
+	Stats  *stats.Set
+
+	ran bool
+}
+
+// New builds a system from the configuration.
+func New(cfg config.System) (*System, error) {
+	eng := event.New()
+	st := stats.NewSet()
+	dev, err := device.New(cfg.Device, st)
+	if err != nil {
+		return nil, err
+	}
+	router := memctrl.NewRouter(eng, dev, st, cfg.MemWindow)
+	router.SetPolicy(cfg.MemPolicy)
+	dual := cfg.Device.SupportsColumn()
+	hier := cache.New(cfg.Cache, cfg.Device.Geom, dual, eng, st, func(r *cache.MemRequest) {
+		router.Submit(&memctrl.Request{
+			Coord:     r.Coord,
+			Orient:    r.Orient,
+			Write:     r.Write,
+			Writeback: r.Writeback,
+			Gather:    r.Gather,
+			Done:      r.Done,
+		})
+	})
+	runner := cpu.NewRunner(cfg.CPU, eng, hier, cfg.Device.Geom, st)
+	return &System{
+		Cfg:    cfg,
+		Eng:    eng,
+		Dev:    dev,
+		Router: router,
+		Hier:   hier,
+		Runner: runner,
+		Stats:  st,
+	}, nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	Name     string
+	TimePs   int64
+	Cores    int
+	CyclePs  int64
+	Counters map[string]int64
+	// MemLatency is the distribution of demand memory-op latencies
+	// (issue to completion, picoseconds).
+	MemLatency *stats.Histogram
+}
+
+// Run executes the per-core streams to completion. A System can run only
+// once.
+func (s *System) Run(streams []trace.Stream) (Result, error) {
+	if s.ran {
+		return Result{}, fmt.Errorf("sim: system %q already ran; create a fresh one", s.Cfg.Name)
+	}
+	s.ran = true
+	if len(streams) > s.Cfg.CPU.Cores {
+		return Result{}, fmt.Errorf("sim: %d streams for %d cores", len(streams), s.Cfg.CPU.Cores)
+	}
+	for i, ops := range streams {
+		s.Runner.SetStream(i, ops)
+	}
+	s.Runner.Start()
+	s.Eng.Run()
+	if !s.Runner.Done() {
+		return Result{}, fmt.Errorf("sim: engine drained but cores not done (deadlock?)")
+	}
+	// Post-run flush: persist dirty cached data (accounted in the write
+	// traffic counters, but not in the reported execution time, matching
+	// how the paper measures query latency).
+	s.Hier.FlushDirty()
+	s.Eng.Run()
+	return Result{
+		Name:       s.Cfg.Name,
+		TimePs:     s.Runner.FinishAt,
+		Cores:      s.Cfg.CPU.Cores,
+		CyclePs:    s.Cfg.CPU.CyclePs,
+		Counters:   s.Stats.Snapshot(),
+		MemLatency: s.Runner.Latency,
+	}, nil
+}
+
+// RunOn is the one-call helper: build the system, run the streams.
+func RunOn(cfg config.System, streams []trace.Stream) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(streams)
+}
+
+// Cycles returns the execution time in CPU cycles.
+func (r Result) Cycles() int64 {
+	if r.CyclePs == 0 {
+		return 0
+	}
+	return r.TimePs / r.CyclePs
+}
+
+// MCycles returns the execution time in millions of CPU cycles (the unit of
+// Figures 17, 18 and 23).
+func (r Result) MCycles() float64 { return float64(r.Cycles()) / 1e6 }
+
+// LLCMisses returns the memory accesses of Figure 19.
+func (r Result) LLCMisses() int64 { return r.Counters[stats.LLCMisses] }
+
+// BufferMissRate returns the combined row-/column-buffer miss rate of
+// Figure 20.
+func (r Result) BufferMissRate() float64 {
+	return stats.Ratio(r.Counters[stats.BufferMisses], r.Counters[stats.BufferHits])
+}
+
+// OverheadRatio returns the Figure 21 cache synonym + coherence overhead as
+// a fraction of total core time.
+func (r Result) OverheadRatio() float64 {
+	total := r.TimePs * int64(r.Cores)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Counters[stats.OverheadPs]) / float64(total)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.2f Mcycles, %d LLC misses, %.1f%% buffer miss rate",
+		r.Name, r.MCycles(), r.LLCMisses(), r.BufferMissRate()*100)
+}
+
+// MemAccesses returns the total memory read accesses (demand misses,
+// prefetches and gathers) — the Figure 19 metric.
+func (r Result) MemAccesses() int64 { return r.Counters[stats.MemReads] }

@@ -1,0 +1,539 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rcnvm/internal/engine"
+	"rcnvm/internal/imdb"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Columns and Rows are set for SELECTs.
+	Columns []string
+	Rows    [][]uint64
+	// Floats carries AVG results aligned with Columns (nil when the cell
+	// is integral); Rows holds the truncated integer value in that case.
+	Floats []float64
+	// Affected is the row count for INSERT/UPDATE.
+	Affected int
+	// Message summarizes DDL outcomes.
+	Message string
+}
+
+// DefaultCapacity is used when CREATE TABLE omits CAPACITY.
+const DefaultCapacity = 64 * 1024
+
+// Exec parses and executes one statement against the database.
+func Exec(db *engine.DB, src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, st)
+}
+
+// Run executes a parsed statement.
+func Run(db *engine.DB, st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTable:
+		return runCreate(db, s)
+	case *Insert:
+		return runInsert(db, s)
+	case *Select:
+		return runSelect(db, s)
+	case *Update:
+		return runUpdate(db, s)
+	case *Delete:
+		return runDelete(db, s)
+	case *Explain:
+		return runExplain(db, s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+// resolveColumn maps a case-insensitive column reference to the schema's
+// field name.
+func resolveColumn(t *engine.Table, name string) (string, error) {
+	for _, f := range t.Schema().Fields {
+		if strings.EqualFold(f.Name, name) {
+			return f.Name, nil
+		}
+	}
+	return "", fmt.Errorf("sql: table %q has no column %q", t.Schema().Name, name)
+}
+
+func lookup(db *engine.DB, name string) (*engine.Table, error) {
+	t, ok := db.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", name)
+	}
+	return t, nil
+}
+
+func runCreate(db *engine.DB, s *CreateTable) (*Result, error) {
+	schema := imdb.Schema{Name: s.Name}
+	for _, c := range s.Columns {
+		schema.Fields = append(schema.Fields, imdb.Field{Name: c.Name, Words: c.Words})
+	}
+	capacity := s.Capacity
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	if _, err := db.CreateTable(s.Name, schema, capacity); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("created table %s (%d columns, capacity %d)",
+		s.Name, len(s.Columns), capacity)}, nil
+}
+
+func runInsert(db *engine.DB, s *Insert) (*Result, error) {
+	t, err := lookup(db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range s.Rows {
+		if _, err := t.Append(row...); err != nil {
+			return nil, fmt.Errorf("sql: row %d: %w", i+1, err)
+		}
+	}
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+// evalConds runs the WHERE conjunction as successive filters: the first
+// condition is a full column scan, the rest re-scan only prior matches.
+func evalConds(t *engine.Table, conds []Cond) ([]int, error) {
+	var rows []int
+	for i, c := range conds {
+		col, err := resolveColumn(t, c.Column)
+		if err != nil {
+			return nil, err
+		}
+		_, words, err := t.Schema().FieldOffset(col)
+		if err != nil {
+			return nil, err
+		}
+		if words != 1 {
+			return nil, fmt.Errorf("sql: WHERE on wide field %q", col)
+		}
+		pred, err := predicate(c)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			if rows, err = t.ScanWhere(col, pred); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var kept []int
+		for _, row := range rows {
+			vals, err := t.Field(row, col)
+			if err != nil {
+				return nil, err
+			}
+			if pred(vals) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+func predicate(c Cond) (func([]uint64) bool, error) {
+	v := c.Value
+	switch c.Op {
+	case "=":
+		return func(x []uint64) bool { return x[0] == v }, nil
+	case "!=":
+		return func(x []uint64) bool { return x[0] != v }, nil
+	case "<":
+		return func(x []uint64) bool { return x[0] < v }, nil
+	case "<=":
+		return func(x []uint64) bool { return x[0] <= v }, nil
+	case ">":
+		return func(x []uint64) bool { return x[0] > v }, nil
+	case ">=":
+		return func(x []uint64) bool { return x[0] >= v }, nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", c.Op)
+	}
+}
+
+func runSelect(db *engine.DB, s *Select) (*Result, error) {
+	if s.JoinTable != "" {
+		return runJoin(db, s)
+	}
+	t, err := lookup(db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []int
+	if len(s.Where) > 0 {
+		if rows, err = evalConds(t, s.Where); err != nil {
+			return nil, err
+		}
+	} else {
+		rows = t.LiveRows()
+	}
+
+	if s.OrderBy != "" && s.GroupBy == "" {
+		col, err := resolveColumn(t, s.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		_, words, err := t.Schema().FieldOffset(col)
+		if err != nil {
+			return nil, err
+		}
+		if words != 1 {
+			return nil, fmt.Errorf("sql: ORDER BY on wide field %q", col)
+		}
+		keys := make(map[int]uint64, len(rows))
+		for _, row := range rows {
+			vals, err := t.Field(row, col)
+			if err != nil {
+				return nil, err
+			}
+			keys[row] = vals[0]
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			if s.Desc {
+				return keys[rows[i]] > keys[rows[j]]
+			}
+			return keys[rows[i]] < keys[rows[j]]
+		})
+	}
+
+	if s.GroupBy != "" {
+		out, err := runGroupBy(t, s, rows)
+		if err != nil {
+			return nil, err
+		}
+		return applyOrderLimit(out, s)
+	}
+
+	// Aggregates?
+	hasAgg := false
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		res := &Result{Rows: [][]uint64{nil}}
+		res.Floats = make([]float64, 0, len(s.Items))
+		for _, it := range s.Items {
+			switch it.Agg {
+			case AggSum:
+				col, err := resolveColumn(t, it.Column)
+				if err != nil {
+					return nil, err
+				}
+				v, err := t.SumField(col, rows)
+				if err != nil {
+					return nil, err
+				}
+				res.Columns = append(res.Columns, "SUM("+col+")")
+				res.Rows[0] = append(res.Rows[0], v)
+				res.Floats = append(res.Floats, 0)
+			case AggAvg:
+				col, err := resolveColumn(t, it.Column)
+				if err != nil {
+					return nil, err
+				}
+				if len(rows) == 0 {
+					res.Columns = append(res.Columns, "AVG("+col+")")
+					res.Rows[0] = append(res.Rows[0], 0)
+					res.Floats = append(res.Floats, 0)
+					continue
+				}
+				v, err := t.AvgField(col, rows)
+				if err != nil {
+					return nil, err
+				}
+				res.Columns = append(res.Columns, "AVG("+col+")")
+				res.Rows[0] = append(res.Rows[0], uint64(v))
+				res.Floats = append(res.Floats, v)
+			case AggCount:
+				res.Columns = append(res.Columns, "COUNT(*)")
+				res.Rows[0] = append(res.Rows[0], uint64(len(rows)))
+				res.Floats = append(res.Floats, 0)
+			case AggMin, AggMax:
+				col, err := resolveColumn(t, it.Column)
+				if err != nil {
+					return nil, err
+				}
+				lo, hi, err := t.MinMaxField(col, rows)
+				if err != nil {
+					return nil, err
+				}
+				if it.Agg == AggMin {
+					res.Columns = append(res.Columns, "MIN("+col+")")
+					res.Rows[0] = append(res.Rows[0], lo)
+				} else {
+					res.Columns = append(res.Columns, "MAX("+col+")")
+					res.Rows[0] = append(res.Rows[0], hi)
+				}
+				res.Floats = append(res.Floats, 0)
+			default:
+				return nil, fmt.Errorf("sql: cannot mix plain columns with aggregates")
+			}
+		}
+		return res, nil
+	}
+
+	fields, err := selectFields(t, s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Limit > 0 && s.Limit < len(rows) {
+		rows = rows[:s.Limit]
+	}
+	out, err := t.Project(rows, fields)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: fields, Rows: out}, nil
+}
+
+// applyOrderLimit post-sorts a GROUP BY result (only by its key column)
+// and applies LIMIT.
+func applyOrderLimit(res *Result, s *Select) (*Result, error) {
+	if s.OrderBy != "" {
+		if !strings.EqualFold(s.OrderBy, s.GroupBy) {
+			return nil, fmt.Errorf("sql: GROUP BY results can only be ordered by the group key")
+		}
+		if s.Desc {
+			for i, j := 0, len(res.Rows)-1; i < j; i, j = i+1, j-1 {
+				res.Rows[i], res.Rows[j] = res.Rows[j], res.Rows[i]
+			}
+		}
+	}
+	if s.Limit > 0 && s.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:s.Limit]
+	}
+	return res, nil
+}
+
+func selectFields(t *engine.Table, s *Select) ([]string, error) {
+	if s.Star {
+		var fields []string
+		for _, f := range t.Schema().Fields {
+			fields = append(fields, f.Name)
+		}
+		return fields, nil
+	}
+	fields := make([]string, 0, len(s.Items))
+	for _, it := range s.Items {
+		col, err := resolveColumn(t, it.Column)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, col)
+	}
+	return fields, nil
+}
+
+func runJoin(db *engine.DB, s *Select) (*Result, error) {
+	a, err := lookup(db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	b, err := lookup(db, s.JoinTable)
+	if err != nil {
+		return nil, err
+	}
+	left, err := resolveColumn(a, s.JoinLeft)
+	if err != nil {
+		return nil, err
+	}
+	right, err := resolveColumn(b, s.JoinRight)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := engine.Join(a, left, b, right)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, q := range s.JoinItems {
+		res.Columns = append(res.Columns, q.Table+"."+q.Column)
+	}
+	for _, pr := range pairs {
+		var row []uint64
+		for _, q := range s.JoinItems {
+			var t *engine.Table
+			var id int
+			switch {
+			case strings.EqualFold(q.Table, s.Table):
+				t, id = a, pr[0]
+			case strings.EqualFold(q.Table, s.JoinTable):
+				t, id = b, pr[1]
+			default:
+				return nil, fmt.Errorf("sql: projection table %q not in FROM/JOIN", q.Table)
+			}
+			col, err := resolveColumn(t, q.Column)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := t.Field(id, col)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, vals...)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runGroupBy handles SELECT key, AGG(x) FROM t [WHERE] GROUP BY key with
+// exactly one aggregate (SUM, AVG or COUNT).
+func runGroupBy(t *engine.Table, s *Select, rows []int) (*Result, error) {
+	key, err := resolveColumn(t, s.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Items) != 2 || s.Items[0].Agg != AggNone ||
+		!strings.EqualFold(s.Items[0].Column, s.GroupBy) || s.Items[1].Agg == AggNone {
+		return nil, fmt.Errorf("sql: GROUP BY supports SELECT <key>, <aggregate> FROM ... GROUP BY <key>")
+	}
+	agg := s.Items[1]
+	aggCol := key // COUNT(*) needs no column; reuse the key for grouping
+	if agg.Agg != AggCount {
+		if aggCol, err = resolveColumn(t, agg.Column); err != nil {
+			return nil, err
+		}
+	}
+	if rows == nil && len(s.Where) == 0 {
+		rows = nil // all live rows
+	}
+	groups, err := t.GroupSum(key, aggCol, rows)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	switch agg.Agg {
+	case AggSum:
+		res.Columns = []string{key, "SUM(" + aggCol + ")"}
+		for _, g := range groups {
+			res.Rows = append(res.Rows, []uint64{g.Key, g.Sum})
+		}
+	case AggCount:
+		res.Columns = []string{key, "COUNT(*)"}
+		for _, g := range groups {
+			res.Rows = append(res.Rows, []uint64{g.Key, uint64(g.Count)})
+		}
+	case AggAvg:
+		res.Columns = []string{key, "AVG(" + aggCol + ")"}
+		for _, g := range groups {
+			res.Rows = append(res.Rows, []uint64{g.Key, g.Sum / uint64(g.Count)})
+		}
+	default:
+		return nil, fmt.Errorf("sql: GROUP BY supports SUM, AVG and COUNT")
+	}
+	return res, nil
+}
+
+func runDelete(db *engine.DB, s *Delete) (*Result, error) {
+	t, err := lookup(db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var rows []int
+	if len(s.Where) > 0 {
+		if rows, err = evalConds(t, s.Where); err != nil {
+			return nil, err
+		}
+	} else {
+		rows = t.LiveRows()
+	}
+	if err := t.Delete(rows); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: len(rows)}, nil
+}
+
+func runUpdate(db *engine.DB, s *Update) (*Result, error) {
+	t, err := lookup(db, s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var rows []int
+	if len(s.Where) > 0 {
+		if rows, err = evalConds(t, s.Where); err != nil {
+			return nil, err
+		}
+	} else {
+		rows = t.LiveRows()
+	}
+	for _, set := range s.Sets {
+		col, err := resolveColumn(t, set.Column)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Update(rows, col, set.Value); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(rows)}, nil
+}
+
+// Format renders a result as an aligned text table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	switch {
+	case r.Message != "":
+		fmt.Fprintln(&b, r.Message)
+	case len(r.Columns) == 0:
+		fmt.Fprintf(&b, "%d row(s) affected\n", r.Affected)
+	default:
+		widths := make([]int, len(r.Columns))
+		cells := make([][]string, 0, len(r.Rows))
+		for i, c := range r.Columns {
+			widths[i] = len(c)
+		}
+		for ri, row := range r.Rows {
+			line := make([]string, len(row))
+			for i, v := range row {
+				if r.Floats != nil && ri == 0 && i < len(r.Floats) && r.Floats[i] != 0 {
+					line[i] = fmt.Sprintf("%.2f", r.Floats[i])
+				} else {
+					line[i] = fmt.Sprintf("%d", v)
+				}
+				if i < len(widths) && len(line[i]) > widths[i] {
+					widths[i] = len(line[i])
+				}
+			}
+			cells = append(cells, line)
+		}
+		for i, c := range r.Columns {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		for _, line := range cells {
+			for i, cell := range line {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				w := 0
+				if i < len(widths) {
+					w = widths[i]
+				}
+				fmt.Fprintf(&b, "%*s", w, cell)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "(%d row(s))\n", len(r.Rows))
+	}
+	return b.String()
+}

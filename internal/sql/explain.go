@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"rcnvm/internal/config"
+	"rcnvm/internal/engine"
+	"rcnvm/internal/sim"
+	"rcnvm/internal/trace"
+)
+
+// Explain describes how a statement will touch memory: which steps run and
+// with which access orientation. With Analyze set, the statement is also
+// executed, its access trace captured, and the trace replayed on the
+// RC-NVM timing simulator both as issued and downgraded to row-only
+// accesses.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+}
+
+func (*Explain) stmt() {}
+
+// parseExplain is called by Parse when the input starts with EXPLAIN.
+func (p *parser) explain() (Statement, error) {
+	ex := &Explain{}
+	if p.keyword("ANALYZE") {
+		ex.Analyze = true
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, nested := inner.(*Explain); nested {
+		return nil, fmt.Errorf("sql: EXPLAIN cannot nest")
+	}
+	ex.Stmt = inner
+	return ex, nil
+}
+
+// runExplain produces the plan text (and, for ANALYZE, executes and
+// times).
+func runExplain(db *engine.DB, ex *Explain) (*Result, error) {
+	var b strings.Builder
+	describe(db, ex.Stmt, &b)
+
+	if !ex.Analyze {
+		return &Result{Message: strings.TrimRight(b.String(), "\n")}, nil
+	}
+
+	db.StartTrace()
+	_, err := Run(db, ex.Stmt)
+	stream := db.StopTrace()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "actual: %d memory ops", stream.MemOps())
+	if stream.MemOps() > 0 {
+		dual, err := sim.RunOn(config.RCNVM(), []trace.Stream{stream})
+		if err != nil {
+			return nil, err
+		}
+		row, err := sim.RunOn(config.RCNVM(), []trace.Stream{engine.RowOnlyStream(stream)})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "; est. %.1f us with column accesses, %.1f us row-only (%.2fx)",
+			float64(dual.TimePs)/1e6, float64(row.TimePs)/1e6,
+			float64(row.TimePs)/float64(dual.TimePs))
+	}
+	return &Result{Message: b.String()}, nil
+}
+
+// describe renders the access plan of a statement.
+func describe(db *engine.DB, st Statement, b *strings.Builder) {
+	scanKind := "column scan (cload)"
+	fetchKind := "row fetch (load)"
+	storeKind := "column store (cstore)"
+	if db.Mode() == engine.RowOnly {
+		scanKind = "strided row scan (load)"
+		storeKind = "row store (store)"
+	}
+	switch s := st.(type) {
+	case *CreateTable:
+		layout := "chunked column-oriented layout on subarrays"
+		if db.Mode() == engine.RowOnly {
+			layout = "linear row store"
+		}
+		fmt.Fprintf(b, "create %s: %s\n", s.Name, layout)
+	case *Insert:
+		fmt.Fprintf(b, "insert %d tuple(s) into %s: %s per tuple\n", len(s.Rows), s.Table, fetchKind)
+	case *Delete:
+		describeWhere(b, s.Where, scanKind)
+		fmt.Fprintf(b, "tombstone matching rows of %s (no memory writes)\n", s.Table)
+	case *Update:
+		describeWhere(b, s.Where, scanKind)
+		for _, set := range s.Sets {
+			fmt.Fprintf(b, "update %s.%s: %s per matching row\n", s.Table, set.Column, storeKind)
+		}
+	case *Select:
+		if s.JoinTable != "" {
+			fmt.Fprintf(b, "hash join %s x %s on %s/%s: build and probe via %s\n",
+				s.Table, s.JoinTable, s.JoinLeft, s.JoinRight, scanKind)
+			fmt.Fprintf(b, "project join pairs: %s per output field\n", fetchKind)
+			break
+		}
+		describeWhere(b, s.Where, scanKind)
+		switch {
+		case s.GroupBy != "":
+			fmt.Fprintf(b, "group by %s: %s over key and aggregate columns\n", s.GroupBy, scanKind)
+		case hasAggregates(s):
+			for _, it := range s.Items {
+				if it.Agg != AggNone && it.Agg != AggCount {
+					fmt.Fprintf(b, "aggregate %s: %s\n", it.String(), scanKind)
+				}
+			}
+		default:
+			fmt.Fprintf(b, "project %s: %s per row\n", projectionList(s), fetchKind)
+		}
+		if s.OrderBy != "" {
+			fmt.Fprintf(b, "order by %s: %s for sort keys, in-CPU sort\n", s.OrderBy, scanKind)
+		}
+	case *Explain:
+		fmt.Fprintln(b, "explain")
+	}
+}
+
+func describeWhere(b *strings.Builder, conds []Cond, scanKind string) {
+	for i, c := range conds {
+		if i == 0 {
+			fmt.Fprintf(b, "filter %s %s %d: %s\n", c.Column, c.Op, c.Value, scanKind)
+		} else {
+			fmt.Fprintf(b, "filter %s %s %d: re-check prior matches\n", c.Column, c.Op, c.Value)
+		}
+	}
+}
+
+func hasAggregates(s *Select) bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func projectionList(s *Select) string {
+	if s.Star {
+		return "*"
+	}
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		parts[i] = it.String()
+	}
+	return strings.Join(parts, ", ")
+}

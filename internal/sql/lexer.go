@@ -1,0 +1,104 @@
+// Package sql is a small SQL front end over the functional engine: enough
+// of the language to type the paper's Table 2 queries against real data —
+// CREATE TABLE, INSERT, single-table SELECT with WHERE conjunctions and
+// aggregates, UPDATE, and two-table equi-JOINs. Statements execute on
+// engine.DB, so every query runs through the dual-addressable storage
+// layer (and can be trace-recorded for the timing simulator).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // ( ) , . * ; =
+	tokOp    // = < > <= >= !=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '<' || c == '>' || c == '!':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			} else if c == '!' {
+				return nil, fmt.Errorf("sql: stray '!' at %d", start)
+			}
+			l.emit(tokOp, l.src[start:l.pos], start)
+		case c == '=':
+			l.emit(tokOp, "=", l.pos)
+			l.pos++
+		case strings.ContainsRune("(),.*;", rune(c)):
+			l.emit(tokPunct, string(c), l.pos)
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos], start)
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// keyword reports whether tok is the given keyword (case-insensitive).
+func (t token) keyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram accumulates positive int64 samples (picoseconds in this
+// project) into logarithmic buckets: bucket i covers [2^i, 2^(i+1)). It is
+// cheap enough to record every memory operation's latency.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// Observe records one sample. Non-positive samples count into bucket 0.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 0 {
+		i = 63 - leadingZeros(uint64(v))
+	}
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for bit := uint(63); ; bit-- {
+		if v&(1<<bit) != 0 {
+			return n
+		}
+		n++
+		if bit == 0 {
+			return n
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound of the q-quantile (0 < q <= 1) at bucket
+// resolution: the top of the bucket containing the q-th sample.
+func (h *Histogram) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen >= target {
+			if i == 63 {
+				return h.max
+			}
+			upper := int64(1) << uint(i+1)
+			if upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Buckets returns the non-empty buckets as (lowerBound, count) pairs in
+// ascending order.
+func (h *Histogram) Buckets() [][2]int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out [][2]int64
+	for i, n := range h.buckets {
+		if n > 0 {
+			out = append(out, [2]int64{1 << uint(i), n})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.0f min=%d p50=%d p95=%d p99=%d max=%d",
+		h.Count(), h.Mean(), h.Min(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+// TestQuantileBounds: the bucketed quantile is always >= the exact quantile
+// and <= 2x the exact value (log-2 bucket resolution).
+func TestQuantileBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		var vals []int64
+		for i := 0; i < 500; i++ {
+			v := int64(rng.Intn(1_000_000) + 1)
+			vals = append(vals, v)
+			h.Observe(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := vals[int(q*float64(len(vals)-1))]
+			got := h.Quantile(q)
+			if got < exact/2 || (got > 2*exact && got > h.Max()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	if h.Quantile(1) < 100 {
+		t.Fatalf("p100 = %d", h.Quantile(1))
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q>1 should clamp")
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatal("q=0 should be 0")
+	}
+	// Quantile never exceeds max.
+	if h.Quantile(0.5) > h.Max() {
+		t.Fatal("quantile above max")
+	}
+}
+
+func TestNonPositiveSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatal("non-positive samples dropped")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1) // bucket [1,2)
+	h.Observe(3) // bucket [2,4)
+	h.Observe(3)
+	bks := h.Buckets()
+	if len(bks) != 2 || bks[0] != [2]int64{1, 1} || bks[1] != [2]int64{2, 2} {
+		t.Fatalf("buckets = %v", bks)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 1000; j++ {
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.String() == "" {
+		t.Fatal("empty string")
+	}
+}

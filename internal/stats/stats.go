@@ -1,0 +1,153 @@
+// Package stats collects the counters the RC-NVM evaluation reports:
+// memory accesses (LLC misses, Figure 19), row-/column-buffer hits and
+// misses (Figure 20), cache synonym and coherence overhead (Figure 21), and
+// general execution accounting.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Set is a named collection of integer counters. It is safe for concurrent
+// use so that independent simulator components can share one Set.
+type Set struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{m: make(map[string]int64)}
+}
+
+// Add increments counter name by delta.
+func (s *Set) Add(name string, delta int64) {
+	s.mu.Lock()
+	s.m[name] += delta
+	s.mu.Unlock()
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Get returns the current value of counter name (zero if never touched).
+func (s *Set) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+// Max raises counter name to v if v is larger than its current value.
+func (s *Set) Max(name string, v int64) {
+	s.mu.Lock()
+	if v > s.m[name] {
+		s.m[name] = v
+	}
+	s.mu.Unlock()
+}
+
+// Names returns all counter names in sorted order.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for k := range s.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	s.m = make(map[string]int64)
+	s.mu.Unlock()
+}
+
+// Ratio returns a/(a+b) as a float, or 0 when both are zero. It is the
+// helper used for buffer miss rates and overhead ratios.
+func Ratio(a, b int64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}
+
+// String renders the set as "name=value" lines, sorted by name.
+func (s *Set) String() string {
+	var b strings.Builder
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Canonical counter names used across the simulator. Components add to
+// these; the experiment harness reads them.
+const (
+	// Device / controller level.
+	MemReads          = "mem.reads"
+	MemWrites         = "mem.writes"
+	MemGathers        = "mem.gathers"
+	MemWritebacks     = "mem.writebacks"
+	BufferHits        = "mem.buffer_hits"
+	BufferMisses      = "mem.buffer_misses"
+	RowActivations    = "mem.row_activations"
+	ColActivations    = "mem.col_activations"
+	OrientSwitches    = "mem.orientation_switches"
+	Refreshes         = "mem.refreshes"
+	BufferFlushes     = "mem.buffer_flushes"
+	QueueMaxOccupancy = "mem.queue_max_occupancy"
+	SchedFRHits       = "mem.sched_fr_hits" // requests promoted by FR-FCFS
+	SchedStarved      = "mem.sched_starvation_overrides"
+
+	// Cache level.
+	L1Hits         = "cache.l1_hits"
+	L2Hits         = "cache.l2_hits"
+	L3Hits         = "cache.l3_hits"
+	LLCMisses      = "cache.llc_misses"
+	Evictions      = "cache.evictions"
+	DirtyEvictions = "cache.dirty_evictions"
+	MSHRMerges     = "cache.mshr_merges"
+	PinnedLines    = "cache.pinned_lines"
+	PinBypasses    = "cache.pin_bypasses"
+	Prefetches     = "cache.prefetches"
+	PrefetchHits   = "cache.prefetch_hits"
+
+	// Synonym / coherence (Figure 21). OverheadPs accumulates every extra
+	// picosecond spent on synonym copies/updates/clears and coherence
+	// invalidations.
+	CrossingDetected = "syn.crossings_detected"
+	CrossingCopies   = "syn.crossing_copies"
+	CrossingUpdates  = "syn.crossing_updates"
+	CrossingClears   = "syn.crossing_clears"
+	CoherenceInvals  = "coh.invalidations"
+	CoherenceMsgs    = "coh.messages"
+	OverheadPs       = "syn.overhead_ps"
+
+	// Core level.
+	OpsExecuted = "core.ops"
+	ComputePs   = "core.compute_ps"
+	StallPs     = "core.stall_ps"
+)

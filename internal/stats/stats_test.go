@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddGet(t *testing.T) {
+	s := NewSet()
+	if got := s.Get("x"); got != 0 {
+		t.Fatalf("fresh counter = %d, want 0", got)
+	}
+	s.Add("x", 5)
+	s.Inc("x")
+	if got := s.Get("x"); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	s := NewSet()
+	s.Max("q", 10)
+	s.Max("q", 3)
+	if got := s.Get("q"); got != 10 {
+		t.Fatalf("max = %d, want 10", got)
+	}
+	s.Max("q", 12)
+	if got := s.Get("q"); got != 12 {
+		t.Fatalf("max = %d, want 12", got)
+	}
+}
+
+func TestSnapshotIsolated(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 1)
+	snap := s.Snapshot()
+	s.Add("a", 1)
+	if snap["a"] != 1 {
+		t.Fatalf("snapshot mutated: %d", snap["a"])
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := NewSet()
+	s.Inc("zeta")
+	s.Inc("alpha")
+	s.Inc("mid")
+	names := s.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Reset()
+	if s.Get("a") != 0 || len(s.Names()) != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(0, 0) != 0 {
+		t.Error("Ratio(0,0) should be 0")
+	}
+	if got := Ratio(1, 3); got != 0.25 {
+		t.Errorf("Ratio(1,3) = %v, want 0.25", got)
+	}
+	if got := Ratio(3, 0); got != 1 {
+		t.Errorf("Ratio(3,0) = %v, want 1", got)
+	}
+}
+
+func TestRatioBounds(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		r := Ratio(int64(a), int64(b))
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("n"); got != 8000 {
+		t.Fatalf("concurrent adds = %d, want 8000", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := NewSet()
+	s.Add("b", 2)
+	s.Add("a", 1)
+	out := s.String()
+	if !strings.HasPrefix(out, "a=1\n") || !strings.Contains(out, "b=2") {
+		t.Fatalf("unexpected string output: %q", out)
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"rcnvm/internal/addr"
+)
+
+// Serialization lets traces be captured once (from the engine or a
+// planner) and replayed later: `rcnvm-sim -replay file` runs a saved
+// multi-core trace through any simulated system.
+
+// fileHeader guards the on-disk format.
+type fileHeader struct {
+	Magic   string
+	Version int
+	Cores   int
+}
+
+const (
+	traceMagic   = "rcnvm-trace"
+	traceVersion = 1
+)
+
+// SaveStreams writes per-core streams to w.
+func SaveStreams(w io.Writer, streams []Stream) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fileHeader{Magic: traceMagic, Version: traceVersion, Cores: len(streams)}); err != nil {
+		return fmt.Errorf("trace: save header: %w", err)
+	}
+	for i, s := range streams {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("trace: save stream %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadStreams reads per-core streams from r.
+func LoadStreams(r io.Reader) ([]Stream, error) {
+	dec := gob.NewDecoder(r)
+	var h fileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: load header: %w", err)
+	}
+	if h.Magic != traceMagic {
+		return nil, fmt.Errorf("trace: not a trace file")
+	}
+	if h.Version != traceVersion {
+		return nil, fmt.Errorf("trace: version %d, want %d", h.Version, traceVersion)
+	}
+	if h.Cores < 0 || h.Cores > 1024 {
+		return nil, fmt.Errorf("trace: implausible core count %d", h.Cores)
+	}
+	streams := make([]Stream, h.Cores)
+	for i := range streams {
+		if err := dec.Decode(&streams[i]); err != nil {
+			return nil, fmt.Errorf("trace: load stream %d: %w", i, err)
+		}
+	}
+	return streams, nil
+}
+
+// Validate checks that every memory op's coordinate lies within the
+// geometry and that column ops are only present when the geometry is
+// dual-addressable. Replaying a trace captured for one geometry on an
+// incompatible system fails here instead of deep in the simulator.
+func Validate(streams []Stream, geom addr.Geometry) error {
+	for ci, s := range streams {
+		for oi, op := range s {
+			if !op.Kind.IsMemory() {
+				continue
+			}
+			c := op.Coord
+			if int(c.Channel) >= geom.Channels() || int(c.Rank) >= geom.Ranks() ||
+				int(c.Bank) >= geom.Banks() || int(c.Subarray) >= geom.Subarrays() ||
+				int(c.Row) >= geom.Rows() || int(c.Column) >= geom.Columns() {
+				return fmt.Errorf("trace: core %d op %d coordinate %+v out of geometry bounds", ci, oi, c)
+			}
+			if op.Kind.Orientation() == addr.Column && !geom.DualAddress {
+				return fmt.Errorf("trace: core %d op %d is column-oriented but the geometry is row-only", ci, oi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rcnvm/internal/addr"
+)
+
+func sampleStreams() []Stream {
+	return []Stream{
+		{LoadOp(addr.Coord{Row: 1, Column: 2}), ComputeOp(5), CLoadOp(addr.Coord{Row: 3})},
+		{GatherOp(addr.Coord{Row: 9}, 42), BarrierOp(), UnpinAllOp()},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleStreams()
+	if err := SaveStreams(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadStreams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %v vs %v", in, out)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadStreams(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveStreams(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic string bytes.
+	b := buf.Bytes()
+	idx := bytes.Index(b, []byte("rcnvm-trace"))
+	if idx < 0 {
+		t.Skip("magic not found in encoding")
+	}
+	b[idx] = 'x'
+	if _, err := LoadStreams(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted magic accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	dual := addr.Geometry{ChannelBits: 1, RankBits: 2, BankBits: 3, SubarrayBits: 3,
+		RowBits: 10, ColumnBits: 10, DualAddress: true}
+	rowOnly := addr.Geometry{ChannelBits: 1, RankBits: 1, BankBits: 3,
+		RowBits: 16, ColumnBits: 8}
+
+	ok := []Stream{{LoadOp(addr.Coord{Row: 100, Column: 100}), CLoadOp(addr.Coord{Row: 5})}}
+	if err := Validate(ok, dual); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// Column op on a row-only geometry.
+	if err := Validate(ok, rowOnly); err == nil {
+		t.Fatal("column op on row-only geometry accepted")
+	}
+	// Out-of-bounds coordinate.
+	bad := []Stream{{LoadOp(addr.Coord{Row: 5000})}}
+	if err := Validate(bad, dual); err == nil {
+		t.Fatal("out-of-bounds coordinate accepted")
+	}
+	// Non-memory ops are exempt.
+	if err := Validate([]Stream{{ComputeOp(3), BarrierOp()}}, rowOnly); err != nil {
+		t.Fatalf("bookkeeping ops rejected: %v", err)
+	}
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"rcnvm/internal/imdb"
+	"rcnvm/internal/query"
+)
+
+// Spec is one benchmark query of Table 2.
+type Spec struct {
+	ID    string
+	SQL   string
+	Class string // OLTP / OLAP / OLXP
+	Build func(env *Env) error
+}
+
+// Selectivities chosen to reproduce the behaviours Table 2 describes
+// ("most of f10 is NOT greater than x" for Q2, "most ... greater" for Q3).
+const (
+	selQ1      = 0.10
+	selQ2      = 0.02
+	selQ3      = 0.90
+	selAgg     = 0.30 // Q4..Q7
+	selJoin    = 0.05 // Q8/Q9 matched pairs
+	selConj    = 0.06 // Q10/Q11 conjunctive predicates
+	selUpdate  = 0.01 // Q12/Q13 point-ish updates
+	allAFields = 16
+	allBFields = 20
+)
+
+func fieldNames(prefix int) []string {
+	out := make([]string, prefix)
+	for i := range out {
+		out[i] = imdb.Uniform("", prefix).Fields[i].Name
+	}
+	return out
+}
+
+// Queries returns Q1..Q13, the Figure 18/19/20/21 set.
+func Queries() []Spec {
+	return []Spec{
+		{
+			ID: "Q1", Class: "OLTP",
+			SQL: "SELECT f3, f4 FROM table-a WHERE f10 > x",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.A.Table())
+				if err := e.ScanField(env.A, "f10", false, query.CmpCycles); err != nil {
+					return err
+				}
+				e.Barrier()
+				m := selectTuples(env.Params.TuplesA, selQ1, env.Params.Seed+1)
+				return e.FetchTuples(env.A, m, []string{"f3", "f4"}, query.TouchCycles)
+			},
+		},
+		{
+			ID: "Q2", Class: "OLTP",
+			SQL: "SELECT * FROM table-b WHERE f10 > x (most NOT > x)",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.B.Table())
+				if err := e.ScanField(env.B, "f10", false, query.CmpCycles); err != nil {
+					return err
+				}
+				e.Barrier()
+				m := selectTuples(env.Params.TuplesB, selQ2, env.Params.Seed+2)
+				return e.FetchTuples(env.B, m, fieldNames(allBFields), query.TouchCycles)
+			},
+		},
+		{
+			ID: "Q3", Class: "OLTP",
+			SQL: "SELECT * FROM table-b WHERE f10 > x (most > x)",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.B.Table())
+				if err := e.ScanField(env.B, "f10", false, query.CmpCycles); err != nil {
+					return err
+				}
+				e.Barrier()
+				m := selectTuples(env.Params.TuplesB, selQ3, env.Params.Seed+3)
+				return e.FetchTuples(env.B, m, fieldNames(allBFields), query.TouchCycles)
+			},
+		},
+		{
+			ID: "Q4", Class: "OLAP",
+			SQL: "SELECT SUM(f9) FROM table-a WHERE f10 > x",
+			Build: func(env *Env) error {
+				return aggregate(env, env.A, env.Params.TuplesA, "f10", "f9", env.Params.Seed+4)
+			},
+		},
+		{
+			ID: "Q5", Class: "OLAP",
+			SQL: "SELECT SUM(f9) FROM table-b WHERE f10 > x",
+			Build: func(env *Env) error {
+				return aggregate(env, env.B, env.Params.TuplesB, "f10", "f9", env.Params.Seed+5)
+			},
+		},
+		{
+			ID: "Q6", Class: "OLAP",
+			SQL: "SELECT AVG(f1) FROM table-a WHERE f10 > x",
+			Build: func(env *Env) error {
+				return aggregate(env, env.A, env.Params.TuplesA, "f10", "f1", env.Params.Seed+6)
+			},
+		},
+		{
+			ID: "Q7", Class: "OLAP",
+			SQL: "SELECT AVG(f1) FROM table-b WHERE f10 > x",
+			Build: func(env *Env) error {
+				return aggregate(env, env.B, env.Params.TuplesB, "f10", "f1", env.Params.Seed+7)
+			},
+		},
+		{
+			ID: "Q8", Class: "OLAP",
+			SQL: "SELECT a.f3, b.f4 FROM table-a a, table-b b WHERE a.f1 > b.f1 AND a.f9 = b.f9",
+			Build: func(env *Env) error {
+				return join(env, true)
+			},
+		},
+		{
+			ID: "Q9", Class: "OLAP",
+			SQL: "SELECT a.f3, b.f4 FROM table-a a, table-b b WHERE a.f9 = b.f9",
+			Build: func(env *Env) error {
+				return join(env, false)
+			},
+		},
+		{
+			ID: "Q10", Class: "OLTP",
+			SQL: "SELECT f3, f4 FROM table-a WHERE f1 > x AND f9 < y",
+			Build: func(env *Env) error {
+				return conjunctive(env, "f1", "f9", env.Params.Seed+10)
+			},
+		},
+		{
+			ID: "Q11", Class: "OLTP",
+			SQL: "SELECT f3, f4 FROM table-a WHERE f1 > x AND f2 < y",
+			Build: func(env *Env) error {
+				return conjunctive(env, "f1", "f2", env.Params.Seed+11)
+			},
+		},
+		{
+			ID: "Q12", Class: "OLTP",
+			SQL: "UPDATE table-b SET f3 = x, f4 = y WHERE f10 = z",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.B.Table())
+				if err := e.ScanField(env.B, "f10", false, query.CmpCycles); err != nil {
+					return err
+				}
+				e.Barrier()
+				m := selectTuples(env.Params.TuplesB, selUpdate, env.Params.Seed+12)
+				return e.UpdateTuples(env.B, m, []string{"f3", "f4"}, query.TouchCycles)
+			},
+		},
+		{
+			ID: "Q13", Class: "OLTP",
+			SQL: "UPDATE table-b SET f9 = x WHERE f10 = y",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.B.Table())
+				if err := e.ScanField(env.B, "f10", false, query.CmpCycles); err != nil {
+					return err
+				}
+				e.Barrier()
+				m := selectTuples(env.Params.TuplesB, selUpdate, env.Params.Seed+13)
+				return e.UpdateTuples(env.B, m, []string{"f9"}, query.TouchCycles)
+			},
+		},
+	}
+}
+
+// aggregate is the Q4..Q7 shape: predicate scan, then aggregate over the
+// matches.
+func aggregate(env *Env, p imdb.Placement, tuples int, scanField, aggField string, seed int64) error {
+	e := env.Exec
+	e.BeginQuery(p.Table())
+	if err := e.ScanField(p, scanField, false, query.CmpCycles); err != nil {
+		return err
+	}
+	e.Barrier()
+	m := selectTuples(tuples, selAgg, seed)
+	return e.ScanMatches(p, aggField, m, query.AggCycles)
+}
+
+// join is the Q8/Q9 shape: hash build over a.f9, probe with b.f9, then
+// fetch the output fields of the matched pairs (plus the f1 comparison
+// fields for Q8).
+func join(env *Env, withFilter bool) error {
+	e := env.Exec
+	p := env.Params
+	e.BeginQuery(env.A.Table(), env.B.Table())
+
+	if err := e.ScanField(env.A, "f9", false, query.CmpCycles); err != nil {
+		return err
+	}
+	if err := e.HashOps(env.Hash, hashSlots(p.TuplesA, env.Hash.Table().Tuples), true, query.HashCycles); err != nil {
+		return err
+	}
+	e.Barrier()
+	if err := e.ScanField(env.B, "f9", false, query.CmpCycles); err != nil {
+		return err
+	}
+	if err := e.HashOps(env.Hash, hashSlots(p.TuplesB, env.Hash.Table().Tuples), false, query.HashCycles); err != nil {
+		return err
+	}
+	e.Barrier()
+
+	ma := selectTuples(p.TuplesA, selJoin, p.Seed+80)
+	mb := selectTuples(p.TuplesB, selJoin, p.Seed+81)
+	fa, fb := []string{"f3"}, []string{"f4"}
+	if withFilter {
+		fa, fb = []string{"f1", "f3"}, []string{"f1", "f4"}
+	}
+	if err := e.FetchTuples(env.A, ma, fa, query.TouchCycles); err != nil {
+		return err
+	}
+	return e.FetchTuples(env.B, mb, fb, query.TouchCycles)
+}
+
+// conjunctive is the Q10/Q11 shape: two predicate column scans, then fetch
+// of the conjunction's matches.
+func conjunctive(env *Env, fieldX, fieldY string, seed int64) error {
+	e := env.Exec
+	e.BeginQuery(env.A.Table())
+	if err := e.ScanField(env.A, fieldX, false, query.CmpCycles); err != nil {
+		return err
+	}
+	if err := e.ScanField(env.A, fieldY, false, query.CmpCycles); err != nil {
+		return err
+	}
+	e.Barrier()
+	m := selectTuples(env.Params.TuplesA, selConj, seed)
+	return e.FetchTuples(env.A, m, []string{"f3", "f4"}, query.TouchCycles)
+}
+
+// GroupQueries returns Q14/Q15, the Figure 23 group-caching set. The
+// group-caching depth comes from Params.GroupLines.
+func GroupQueries() []Spec {
+	return []Spec{
+		{
+			ID: "Q14", Class: "OLAP",
+			SQL: "SELECT SUM(f2_wide) FROM table-c (wide field read)",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.C.Table())
+				return e.GroupRead(env.C, []string{"f2_wide"}, env.Params.GroupLines, query.AggCycles)
+			},
+		},
+		{
+			ID: "Q15", Class: "OLXP",
+			SQL: "SELECT f3, f6, f10 FROM table-a",
+			Build: func(env *Env) error {
+				e := env.Exec
+				e.BeginQuery(env.A.Table())
+				return e.GroupRead(env.A, []string{"f3", "f6", "f10"}, env.Params.GroupLines, query.TouchCycles)
+			},
+		},
+	}
+}
+
+// QueryByID looks a query up across both sets.
+func QueryByID(id string) (Spec, bool) {
+	for _, q := range Queries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	for _, q := range GroupQueries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Spec{}, false
+}
