@@ -6,15 +6,106 @@
 package rcnvm
 
 import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rcnvm/internal/circuit"
 	"rcnvm/internal/config"
+	"rcnvm/internal/engine"
 	"rcnvm/internal/experiments"
 	"rcnvm/internal/imdb"
 	"rcnvm/internal/memctrl"
+	"rcnvm/internal/server"
+	"rcnvm/internal/sql"
 	"rcnvm/internal/workload"
 )
+
+// BenchmarkServerThroughput measures end-to-end queries/sec through the
+// query service — in-process server, real TCP loopback clients — at 1, 8
+// and 64 concurrent sessions. Each session alternates a point SELECT on
+// its own id with an aggregate scan, the served OLTP+OLAP mix. Baseline
+// numbers live in results/server_throughput.txt.
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, sessions := range []int{1, 8, 64} {
+		sessions := sessions
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			db, err := engine.Open(engine.DualAddress)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sql.Exec(db, "CREATE TABLE bench (id, grp, val) CAPACITY 4096"); err != nil {
+				b.Fatal(err)
+			}
+			for lo := 0; lo < 1024; lo += 128 {
+				ins := "INSERT INTO bench VALUES "
+				for i := lo; i < lo+128; i++ {
+					if i > lo {
+						ins += ","
+					}
+					ins += fmt.Sprintf("(%d,%d,%d)", i, i%8, i*3)
+				}
+				if _, err := sql.Exec(db, ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+			srv := server.New(db, server.Options{Queue: 2 * sessions})
+			addr, err := srv.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			clients := make([]*server.Client, sessions)
+			for i := range clients {
+				if clients[i], err = server.Dial(addr.String()); err != nil {
+					b.Fatal(err)
+				}
+				defer clients[i].Close()
+			}
+
+			var next atomic.Int64
+			next.Store(-1)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errc := make(chan error, sessions)
+			for _, c := range clients {
+				wg.Add(1)
+				go func(c *server.Client) {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i >= int64(b.N) {
+							return
+						}
+						q := fmt.Sprintf("SELECT val FROM bench WHERE id = %d", i%1024)
+						if i%2 == 1 {
+							q = fmt.Sprintf("SELECT SUM(val), COUNT(*) FROM bench WHERE grp = %d", i%8)
+						}
+						if _, err := c.Query(q); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
 
 // BenchmarkFig04AreaModel evaluates the Figure 4 area-overhead sweep.
 func BenchmarkFig04AreaModel(b *testing.B) {

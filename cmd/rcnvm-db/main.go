@@ -61,6 +61,12 @@ func main() {
 	for {
 		fmt.Print("rcnvm-db> ")
 		if !sc.Scan() {
+			// A scanner stops on real read errors (e.g. a line over the
+			// 1 MiB buffer) as well as on EOF; only EOF is a clean exit.
+			if err := sc.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "rcnvm-db: reading input:", err)
+				os.Exit(1)
+			}
 			fmt.Println()
 			return
 		}

@@ -1,0 +1,127 @@
+// Command rcnvm-serve runs the concurrent SQL query service over the
+// functional RC-NVM database engine.
+//
+// Serve mode (default) listens on a newline-delimited-JSON TCP front end
+// and an HTTP front end, over one shared dual-addressable database:
+//
+//	$ rcnvm-serve -tcp :7070 -http :7071
+//	$ printf '{"query":"SELECT COUNT(*) FROM load"}\n' | nc localhost 7070
+//	$ curl -d '{"query":"SELECT SUM(val) FROM load WHERE grp = 3","timing":true}' localhost:7071/query
+//	$ curl localhost:7071/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// queries before closing connections.
+//
+// Load-generator mode starts an in-process server and drives it with N
+// concurrent client sessions issuing a mixed OLTP+OLAP stream, then
+// prints the throughput report and the server's own /stats counters:
+//
+//	$ rcnvm-serve -loadgen 16 -duration 3s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rcnvm/internal/engine"
+	"rcnvm/internal/server"
+	"rcnvm/internal/sql"
+)
+
+func main() {
+	var (
+		tcpAddr  = flag.String("tcp", ":7070", "TCP (NDJSON) listen address")
+		httpAddr = flag.String("http", ":7071", "HTTP listen address (\"\" disables)")
+		workers  = flag.Int("workers", 0, "concurrent statements (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue capacity (0 = 4x workers)")
+		rowOnly  = flag.Bool("rowonly", false, "serve a conventional row-only engine instead of RC-NVM")
+		loadgen  = flag.Int("loadgen", 0, "run the load generator with N clients against an in-process server, then exit")
+		duration = flag.Duration("duration", 3*time.Second, "load-generator run length")
+		timedEv  = flag.Int("timing-every", 0, "load generator: request timing attribution every n-th query (0 = never)")
+	)
+	flag.Parse()
+
+	mode := engine.DualAddress
+	if *rowOnly {
+		mode = engine.RowOnly
+	}
+	db, err := engine.Open(mode)
+	if err != nil {
+		fatal(err)
+	}
+	// The demo/load table every front end can query immediately.
+	if _, err := sql.Exec(db, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(db, server.Options{Workers: *workers, Queue: *queue})
+
+	if *loadgen > 0 {
+		runLoadgen(srv, *loadgen, *duration, *timedEv)
+		return
+	}
+
+	addr, err := srv.ListenTCP(*tcpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rcnvm-serve: TCP (NDJSON) on %s\n", addr)
+	if *httpAddr != "" {
+		haddr, err := srv.ListenHTTP(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rcnvm-serve: HTTP on %s (POST /query, GET /stats)\n", haddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rcnvm-serve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+	fmt.Println("rcnvm-serve: drained, bye")
+}
+
+func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv int) {
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := server.RunLoad(server.LoadSpec{
+		Addr:        addr.String(),
+		Clients:     clients,
+		Duration:    duration,
+		TimingEvery: timedEv,
+		Table:       "load",
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+	snap := srv.Stats()
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("server stats:\n%s\n", out)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcnvm-serve:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rcnvm/internal/addr"
 	"rcnvm/internal/funcmem"
@@ -36,7 +37,28 @@ const (
 )
 
 // DB is one database instance bound to one memory.
+//
+// Concurrency: the embedded RWMutex guards every piece of database state
+// (tables, tuple values, tombstones, allocators, trace recording), but the
+// engine's methods do not acquire it themselves — callers lock at
+// *statement* granularity so that a multi-step operation (a WHERE scan
+// followed by a projection, say) sees one consistent snapshot. The
+// discipline, enforced by sql.ExecLocked / sql.ExecTraced and
+// internal/server:
+//
+//   - RLock for read-only work: Tuple, Field, Scan*, aggregates, Project,
+//     Join, Save, ExportCSV. Any number of readers may run in parallel —
+//     reads mutate nothing but the memory's atomic access counters.
+//   - Lock for mutations (CreateTable, Append, SetField, Update, Delete,
+//     Vacuum, Load, ImportCSV) and for any traced section
+//     (StartTrace … StopTrace), since the trace buffer is shared state
+//     and a concurrent reader would pollute the recorded stream.
+//
+// Single-threaded users (the CLI shells, examples, most tests) may simply
+// ignore the lock.
 type DB struct {
+	sync.RWMutex
+
 	mem    *funcmem.Memory
 	mode   Mode
 	alloc  *imdb.NVMAllocator

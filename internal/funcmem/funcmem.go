@@ -13,6 +13,7 @@ package funcmem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rcnvm/internal/addr"
 )
@@ -24,12 +25,17 @@ const pageWords = 1 << 12
 type Observer func(c addr.Coord, o addr.Orientation, write bool)
 
 // Memory is a functional dual-addressable word store.
+//
+// Memory is not synchronized as a whole — writers need external mutual
+// exclusion (internal/engine holds its DB lock) — but the access counters
+// are atomic, so any number of concurrent readers may share the memory:
+// a read-only access mutates nothing except those counters.
 type Memory struct {
 	geom     addr.Geometry
 	pages    map[uint32][]uint64
 	observer Observer
 
-	reads, writes [2]int64 // indexed by orientation
+	reads, writes [2]atomic.Int64 // indexed by orientation
 }
 
 // New returns an empty memory with the given geometry.
@@ -68,7 +74,7 @@ func (m *Memory) slot(c addr.Coord, alloc bool) *uint64 {
 // ReadCoord returns the word at a physical coordinate, noting the access
 // orientation for accounting.
 func (m *Memory) ReadCoord(c addr.Coord, o addr.Orientation) uint64 {
-	m.reads[o]++
+	m.reads[o].Add(1)
 	if m.observer != nil {
 		m.observer(c, o, false)
 	}
@@ -80,7 +86,7 @@ func (m *Memory) ReadCoord(c addr.Coord, o addr.Orientation) uint64 {
 
 // WriteCoord stores a word at a physical coordinate.
 func (m *Memory) WriteCoord(c addr.Coord, o addr.Orientation, v uint64) {
-	m.writes[o]++
+	m.writes[o].Add(1)
 	if m.observer != nil {
 		m.observer(c, o, true)
 	}
@@ -118,15 +124,17 @@ type Counts struct {
 // Counts returns the access counters.
 func (m *Memory) Counts() Counts {
 	return Counts{
-		RowReads: m.reads[addr.Row], RowWrites: m.writes[addr.Row],
-		ColReads: m.reads[addr.Column], ColWrites: m.writes[addr.Column],
+		RowReads: m.reads[addr.Row].Load(), RowWrites: m.writes[addr.Row].Load(),
+		ColReads: m.reads[addr.Column].Load(), ColWrites: m.writes[addr.Column].Load(),
 	}
 }
 
 // ResetCounts zeroes the access counters.
 func (m *Memory) ResetCounts() {
-	m.reads = [2]int64{}
-	m.writes = [2]int64{}
+	for o := range m.reads {
+		m.reads[o].Store(0)
+		m.writes[o].Store(0)
+	}
 }
 
 // FootprintBytes returns the allocated backing storage.

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client speaks the TCP line protocol: one JSON request per line, one
+// JSON response per line, in order. A Client is one server session; it is
+// safe for concurrent use, but requests serialize on the session (open
+// several Clients for parallelism — that is what the load generator and
+// throughput benchmark do).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+	id   uint64
+}
+
+// Dial opens a session to a server's TCP front end.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, maxLineBytes), maxLineBytes)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Query executes one statement. The returned error covers transport and
+// protocol failures as well as the response's own error (so callers may
+// errors.Is(err, ErrOverloaded)); the response is returned alongside
+// whenever one was received.
+func (c *Client) Query(q string) (*Response, error) {
+	return c.do(Request{Query: q})
+}
+
+// QueryTimed executes one statement with RC-NVM timing attribution.
+func (c *Client) QueryTimed(q string) (*Response, error) {
+	return c.do(Request{Query: q, Timing: true})
+}
+
+func (c *Client) do(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.id++
+	req.ID = c.id
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("server: receive: %w", err)
+		}
+		return nil, fmt.Errorf("server: connection closed")
+	}
+	resp := new(Response)
+	if err := json.Unmarshal(c.sc.Bytes(), resp); err != nil {
+		return nil, fmt.Errorf("server: bad response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return resp, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, resp.Err()
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"time"
+
+	"rcnvm/internal/stats"
+)
+
+// Server counter names, kept in the same stats.Set namespace style as the
+// simulator counters so one snapshot renders uniformly.
+const (
+	Queries        = "server.queries"         // statements executed (ok or sql error)
+	QueryErrors    = "server.query_errors"    // statements that failed (parse/exec)
+	TimedQueries   = "server.timed_queries"   // statements with timing attribution
+	Rejected       = "server.rejected"        // admissions refused: pool queue full
+	RejectedDrain  = "server.rejected_drain"  // admissions refused: shutting down
+	RowsReturned   = "server.rows_returned"   // result rows sent to clients
+	SessionsOpened = "server.sessions_opened" // TCP connections accepted
+	SessionsActive = "server.sessions_active" // TCP connections currently open
+	BadRequests    = "server.bad_requests"    // undecodable protocol messages
+)
+
+// Metrics aggregates the service-level counters and the query-latency
+// distribution. Built on stats.Set and stats.Histogram, both safe for
+// concurrent use, so every session and worker records into one instance.
+type Metrics struct {
+	Set *stats.Set
+	// Latency holds wall-clock statement latencies in nanoseconds
+	// (admission to response-ready, excluding network time).
+	Latency *stats.Histogram
+}
+
+// NewMetrics returns an empty metrics instance.
+func NewMetrics() *Metrics {
+	return &Metrics{Set: stats.NewSet(), Latency: stats.NewHistogram()}
+}
+
+// observe records one executed statement.
+func (m *Metrics) observe(d time.Duration, rows int, failed bool) {
+	m.Set.Inc(Queries)
+	if failed {
+		m.Set.Inc(QueryErrors)
+	}
+	m.Set.Add(RowsReturned, int64(rows))
+	m.Latency.Observe(d.Nanoseconds())
+}
+
+// LatencySummary is the JSON form of the latency distribution: headline
+// quantiles plus the exact histogram for clients that want to merge or
+// re-quantile.
+type LatencySummary struct {
+	Count     int64            `json:"count"`
+	MeanNs    float64          `json:"mean_ns"`
+	P50Ns     int64            `json:"p50_ns"`
+	P95Ns     int64            `json:"p95_ns"`
+	P99Ns     int64            `json:"p99_ns"`
+	MaxNs     int64            `json:"max_ns"`
+	Histogram *stats.Histogram `json:"histogram"`
+}
+
+// PoolStatus reports worker-pool occupancy.
+type PoolStatus struct {
+	Workers  int `json:"workers"`
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+// StatsSnapshot is the GET /stats payload.
+type StatsSnapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Latency  LatencySummary   `json:"latency"`
+	Pool     PoolStatus       `json:"pool"`
+}
+
+// snapshot assembles the /stats payload.
+func (m *Metrics) snapshot(p *Pool) StatsSnapshot {
+	return StatsSnapshot{
+		Counters: m.Set.Snapshot(),
+		Latency: LatencySummary{
+			Count:     m.Latency.Count(),
+			MeanNs:    m.Latency.Mean(),
+			P50Ns:     m.Latency.Quantile(0.5),
+			P95Ns:     m.Latency.Quantile(0.95),
+			P99Ns:     m.Latency.Quantile(0.99),
+			MaxNs:     m.Latency.Max(),
+			Histogram: m.Latency,
+		},
+		Pool: PoolStatus{Workers: p.Workers(), Depth: p.Depth(), Capacity: p.Capacity()},
+	}
+}

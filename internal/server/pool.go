@@ -1,0 +1,78 @@
+package server
+
+import "sync"
+
+// Pool is a bounded worker pool with admission control: a fixed number of
+// workers drain a fixed-capacity queue, and Submit rejects immediately
+// (ErrOverloaded) when the queue is full rather than blocking or growing
+// it — the backpressure signal propagates to clients as a typed error
+// while queued work keeps bounded latency.
+type Pool struct {
+	mu      sync.RWMutex // guards closed vs. Submit's channel send
+	jobs    chan func()
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewPool starts workers goroutines draining a queue of the given
+// capacity. A queue capacity of 0 admits a job only when a worker is
+// ready to take it immediately.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{jobs: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit offers a job to the pool without blocking. It returns
+// ErrOverloaded when the queue is full and ErrShuttingDown after Close.
+func (p *Pool) Submit(job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Depth returns the number of queued (admitted, not yet started) jobs.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Capacity returns the queue capacity.
+func (p *Pool) Capacity() int { return cap(p.jobs) }
+
+// Close stops admission, drains every already-admitted job, and waits for
+// the workers to exit. Safe to call once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

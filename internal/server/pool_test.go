@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestPoolAdmissionControl drives the pool into overload and checks the
+// typed rejection: one running job + one queued job fill a
+// workers=1/queue=1 pool, so a third submit must be refused immediately.
+func TestPoolAdmissionControl(t *testing.T) {
+	p := NewPool(1, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var ran sync.WaitGroup
+
+	ran.Add(1)
+	if err := p.Submit(func() { close(started); <-gate; ran.Done() }); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	<-started // worker busy
+	ran.Add(1)
+	if err := p.Submit(func() { ran.Done() }); err != nil {
+		t.Fatalf("submit 2 (queued): %v", err)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit 3: got %v, want ErrOverloaded", err)
+	}
+	if d := p.Depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1", d)
+	}
+
+	close(gate)
+	ran.Wait() // both admitted jobs ran despite the rejection in between
+}
+
+// TestPoolCloseDrains checks that Close runs every admitted job before
+// returning, and that later submits get the shutdown error.
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 16)
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(func() { mu.Lock(); ran++; mu.Unlock() }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	mu.Lock()
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10 (Close must drain admitted jobs)", ran)
+	}
+	mu.Unlock()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after close: got %v, want ErrShuttingDown", err)
+	}
+	p.Close() // idempotent
+}

@@ -1,0 +1,109 @@
+// Package server is the concurrent query service over the functional
+// RC-NVM database: a TCP front end speaking newline-delimited JSON and an
+// HTTP front end (POST /query, GET /stats), both executing SQL against one
+// shared engine.DB through a bounded worker pool with admission control.
+//
+// Concurrency model, in one paragraph: every statement is classified by
+// sql.ReadOnly and runs under the engine's RWMutex at statement
+// granularity — SELECTs share the read lock and proceed in parallel,
+// mutations and traced statements take the write lock. The worker pool
+// bounds how many statements execute at once; when its queue is full the
+// server rejects immediately with a typed "overloaded" error instead of
+// queueing unboundedly, so latency stays bounded under overload. Shutdown
+// stops admission first, then drains every in-flight query before closing
+// connections.
+//
+// A request may set "timing": true to have its memory-access trace
+// replayed on the RC-NVM timing simulator, both as issued (column
+// accesses) and downgraded to row-only accesses — the per-query
+// dual-vs-row attribution of the paper's evaluation, served online.
+package server
+
+import "errors"
+
+// Wire error codes carried in Response.Error.Code.
+const (
+	// CodeOverloaded: the worker pool's queue was full; retry later.
+	CodeOverloaded = "overloaded"
+	// CodeShutdown: the server is draining and admits no new queries.
+	CodeShutdown = "shutting_down"
+	// CodeBadRequest: the request was not a valid protocol message.
+	CodeBadRequest = "bad_request"
+	// CodeSQL: the statement failed to parse or execute.
+	CodeSQL = "sql_error"
+)
+
+// Typed sentinel errors for admission-control outcomes; both the pool and
+// the client surface these so callers can errors.Is on them.
+var (
+	ErrOverloaded   = errors.New("server: overloaded, query rejected")
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// Request is one statement submitted by a client. On the TCP transport it
+// is one JSON object per line; over HTTP it is the POST /query body.
+type Request struct {
+	// ID is echoed back on the response; clients use it to match
+	// responses to requests.
+	ID uint64 `json:"id,omitempty"`
+	// Query is the SQL statement text.
+	Query string `json:"query"`
+	// Timing asks for simulated memory-timing attribution. Timed
+	// statements execute under the exclusive lock (trace recording is
+	// shared state), so use it for diagnosis, not on the hot path.
+	Timing bool `json:"timing,omitempty"`
+}
+
+// Timing is the simulated memory time of one statement, as issued and
+// downgraded to conventional row-only accesses.
+type Timing struct {
+	MemOps int `json:"mem_ops"`
+	// DualPs and RowPs are simulated picoseconds on the RC-NVM timing
+	// model with column accesses as issued vs. forced row-only.
+	DualPs int64 `json:"dual_ps"`
+	RowPs  int64 `json:"row_ps"`
+	// Speedup is RowPs/DualPs (1.0 when the statement issued no column
+	// accesses, 0 when it touched no memory).
+	Speedup float64 `json:"speedup"`
+}
+
+// WireError is the serialized form of a failed request. It implements
+// error so client code can return it directly.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *WireError) Error() string { return e.Code + ": " + e.Message }
+
+// Response is the outcome of one request. Exactly one of Error or the
+// result fields is meaningful.
+type Response struct {
+	ID       uint64     `json:"id,omitempty"`
+	Columns  []string   `json:"columns,omitempty"`
+	Rows     [][]uint64 `json:"rows,omitempty"`
+	Floats   []float64  `json:"floats,omitempty"`
+	Affected int        `json:"affected,omitempty"`
+	Message  string     `json:"message,omitempty"`
+	Timing   *Timing    `json:"timing,omitempty"`
+	Error    *WireError `json:"error,omitempty"`
+}
+
+// Err returns the response's error (nil on success), mapping the
+// admission-control codes back to their sentinel errors.
+func (r *Response) Err() error {
+	if r.Error == nil {
+		return nil
+	}
+	switch r.Error.Code {
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeShutdown:
+		return ErrShuttingDown
+	}
+	return r.Error
+}
+
+func errResponse(id uint64, code, msg string) *Response {
+	return &Response{ID: id, Error: &WireError{Code: code, Message: msg}}
+}

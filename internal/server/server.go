@@ -1,0 +1,390 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcnvm/internal/config"
+	"rcnvm/internal/engine"
+	"rcnvm/internal/sim"
+	"rcnvm/internal/sql"
+	"rcnvm/internal/trace"
+)
+
+// maxLineBytes bounds one TCP protocol line (and so one statement).
+const maxLineBytes = 1 << 20
+
+// Options configures a Server. The zero value is usable: GOMAXPROCS
+// workers with a 4x queue.
+type Options struct {
+	// Workers is the number of statements executing concurrently
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Queue is the admission queue capacity (default 4*Workers). When
+	// the queue is full, requests are rejected with CodeOverloaded.
+	Queue int
+
+	// execDelay stretches every statement; tests use it to make
+	// drain/overload windows deterministic.
+	execDelay time.Duration
+}
+
+// Server serves SQL over one shared engine.DB.
+type Server struct {
+	db   *engine.DB
+	pool *Pool
+	met  *Metrics
+	opts Options
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	https     []*http.Server
+	conns     map[net.Conn]struct{}
+	shutting  bool
+
+	inflight  sync.WaitGroup // admitted, not-yet-answered queries
+	accepting sync.WaitGroup // accept loops
+	sessionID atomic.Uint64
+}
+
+// New creates a server over db.
+func New(db *engine.DB, opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 4 * opts.Workers
+	}
+	return &Server{
+		db:    db,
+		pool:  NewPool(opts.Workers, opts.Queue),
+		met:   NewMetrics(),
+		opts:  opts,
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Metrics exposes the server's counters and latency histogram.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// ListenTCP starts the newline-delimited-JSON front end on addr
+// (e.g. "127.0.0.1:0") and returns the bound address.
+func (s *Server) ListenTCP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.shutting {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrShuttingDown
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	s.accepting.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.accepting.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.shutting {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// serveConn is one session: requests on a connection execute sequentially
+// and responses come back in order; concurrency comes from concurrent
+// sessions sharing the worker pool.
+func (s *Server) serveConn(c net.Conn) {
+	s.sessionID.Add(1)
+	s.met.Set.Inc(SessionsOpened)
+	s.met.Set.Add(SessionsActive, 1)
+	defer func() {
+		s.met.Set.Add(SessionsActive, -1)
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, maxLineBytes), maxLineBytes)
+	enc := json.NewEncoder(c)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			s.met.Set.Inc(BadRequests)
+			if enc.Encode(errResponse(0, CodeBadRequest, err.Error())) != nil {
+				return
+			}
+			continue
+		}
+		// Hold the in-flight count across the encode so Shutdown's
+		// drain covers response delivery, not just execution.
+		resp, release := s.doHeld(&req)
+		err := enc.Encode(resp)
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ListenHTTP starts the HTTP front end on addr and returns the bound
+// address. Routes: POST /query (Request JSON in, Response JSON out),
+// GET /stats (StatsSnapshot), GET /healthz.
+func (s *Server) ListenHTTP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	hs := &http.Server{Handler: mux}
+	s.mu.Lock()
+	if s.shutting {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrShuttingDown
+	}
+	s.https = append(s.https, hs)
+	s.mu.Unlock()
+	s.accepting.Add(1)
+	go func() {
+		defer s.accepting.Done()
+		hs.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes)).Decode(&req); err != nil {
+		s.met.Set.Inc(BadRequests)
+		writeJSON(w, http.StatusBadRequest, errResponse(0, CodeBadRequest, err.Error()))
+		return
+	}
+	resp := s.Do(&req)
+	status := http.StatusOK
+	if resp.Error != nil {
+		switch resp.Error.Code {
+		case CodeOverloaded, CodeShutdown:
+			status = http.StatusServiceUnavailable
+		default:
+			status = http.StatusBadRequest
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot(s.pool))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Stats returns the current /stats payload (the in-process view of the
+// endpoint).
+func (s *Server) Stats() StatsSnapshot { return s.met.snapshot(s.pool) }
+
+// Do admits one request to the worker pool and waits for its response.
+// It is the transport-independent core: both front ends and in-process
+// callers (benchmarks, the load generator) go through it.
+func (s *Server) Do(req *Request) *Response {
+	resp, release := s.doHeld(req)
+	if release != nil {
+		release()
+	}
+	return resp
+}
+
+// doHeld is Do, except that for admitted requests the in-flight count
+// stays held until the caller invokes release — the TCP session uses this
+// to extend the shutdown drain across response delivery. release is nil
+// when the request was rejected without admission.
+func (s *Server) doHeld(req *Request) (resp *Response, release func()) {
+	if req.Query == "" {
+		s.met.Set.Inc(BadRequests)
+		return errResponse(req.ID, CodeBadRequest, "empty query"), nil
+	}
+	// Count the request as in-flight while holding s.mu so Shutdown
+	// either sees it (and drains it) or has already flipped shutting
+	// (and we reject).
+	s.mu.Lock()
+	if s.shutting {
+		s.mu.Unlock()
+		s.met.Set.Inc(RejectedDrain)
+		return errResponse(req.ID, CodeShutdown, ErrShuttingDown.Error()), nil
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+
+	done := make(chan *Response, 1)
+	err := s.pool.Submit(func() { done <- s.execute(req) })
+	if err != nil {
+		s.inflight.Done()
+		if err == ErrShuttingDown {
+			s.met.Set.Inc(RejectedDrain)
+			return errResponse(req.ID, CodeShutdown, err.Error()), nil
+		}
+		s.met.Set.Inc(Rejected)
+		return errResponse(req.ID, CodeOverloaded, err.Error()), nil
+	}
+	return <-done, func() { s.inflight.Done() }
+}
+
+// execute runs one admitted statement on a pool worker.
+func (s *Server) execute(req *Request) *Response {
+	start := time.Now()
+	if s.opts.execDelay > 0 {
+		time.Sleep(s.opts.execDelay)
+	}
+	var (
+		res    *sql.Result
+		stream trace.Stream
+		err    error
+	)
+	if req.Timing {
+		s.met.Set.Inc(TimedQueries)
+		res, stream, err = sql.ExecTraced(s.db, req.Query)
+	} else {
+		res, err = sql.ExecLocked(s.db, req.Query)
+	}
+	if err != nil {
+		s.met.observe(time.Since(start), 0, true)
+		return errResponse(req.ID, CodeSQL, err.Error())
+	}
+	resp := &Response{
+		ID:       req.ID,
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+		Floats:   res.Floats,
+		Affected: res.Affected,
+		Message:  res.Message,
+	}
+	if req.Timing {
+		// Replay outside any lock: the replay only reads the recorded
+		// stream, never the database.
+		if resp.Timing, err = replayTiming(stream); err != nil {
+			s.met.observe(time.Since(start), 0, true)
+			return errResponse(req.ID, CodeSQL, err.Error())
+		}
+	}
+	s.met.observe(time.Since(start), len(resp.Rows), false)
+	return resp
+}
+
+// replayTiming runs the statement's access trace on the RC-NVM timing
+// simulator as issued and downgraded to row-only accesses.
+func replayTiming(stream trace.Stream) (*Timing, error) {
+	t := &Timing{MemOps: stream.MemOps()}
+	if t.MemOps == 0 {
+		return t, nil
+	}
+	dual, err := sim.RunOn(config.RCNVM(), []trace.Stream{stream})
+	if err != nil {
+		return nil, fmt.Errorf("server: trace replay: %w", err)
+	}
+	row, err := sim.RunOn(config.RCNVM(), []trace.Stream{engine.RowOnlyStream(stream)})
+	if err != nil {
+		return nil, fmt.Errorf("server: row-only replay: %w", err)
+	}
+	t.DualPs = dual.TimePs
+	t.RowPs = row.TimePs
+	if t.DualPs > 0 {
+		t.Speedup = float64(t.RowPs) / float64(t.DualPs)
+	}
+	return t, nil
+}
+
+// Shutdown drains the server: admission stops immediately (new requests
+// get CodeShutdown), every in-flight query runs to completion and its
+// response is delivered, then listeners and connections close. It returns
+// ctx.Err() if the context expires before the drain finishes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutting {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutting = true
+	listeners := s.listeners
+	https := s.https
+	s.mu.Unlock()
+
+	// Stop accepting new sessions.
+	for _, ln := range listeners {
+		ln.Close()
+	}
+
+	// Wait for in-flight queries (or give up at the deadline).
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Drain the HTTP servers (delivers the last responses), then drop
+	// raw TCP sessions.
+	for _, hs := range https {
+		hs.Shutdown(ctx)
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.accepting.Wait()
+	s.pool.Close()
+	return err
+}

@@ -64,16 +64,18 @@ func New(cfg config.System) (*System, error) {
 	}, nil
 }
 
-// Result summarizes one run.
+// Result summarizes one run. It marshals to stable JSON (the /stats and
+// per-query timing payloads of internal/server): the histogram carries
+// exact bucket contents, so quantiles survive a decode.
 type Result struct {
-	Name     string
-	TimePs   int64
-	Cores    int
-	CyclePs  int64
-	Counters map[string]int64
+	Name     string           `json:"name"`
+	TimePs   int64            `json:"time_ps"`
+	Cores    int              `json:"cores"`
+	CyclePs  int64            `json:"cycle_ps"`
+	Counters map[string]int64 `json:"counters"`
 	// MemLatency is the distribution of demand memory-op latencies
 	// (issue to completion, picoseconds).
-	MemLatency *stats.Histogram
+	MemLatency *stats.Histogram `json:"mem_latency,omitempty"`
 }
 
 // Run executes the per-core streams to completion. A System can run only

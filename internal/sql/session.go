@@ -1,0 +1,73 @@
+package sql
+
+import (
+	"fmt"
+
+	"rcnvm/internal/engine"
+	"rcnvm/internal/trace"
+)
+
+// This file is the concurrency boundary of the SQL layer: engine.DB
+// carries an RWMutex but its methods do not lock it themselves (see the
+// engine.DB doc comment), so statements that should execute atomically
+// against a shared database go through ExecLocked or ExecTraced, which
+// hold the lock for the whole statement. Plain Exec/Run stay unlocked for
+// single-threaded callers.
+
+// ReadOnly reports whether a statement only reads database state, and may
+// therefore run under the shared (read) lock concurrently with other
+// readers. EXPLAIN ANALYZE is a writer: it records an access trace, which
+// is exclusive state on the DB.
+func ReadOnly(st Statement) bool {
+	switch s := st.(type) {
+	case *Select:
+		return true
+	case *Explain:
+		return !s.Analyze
+	default:
+		return false
+	}
+}
+
+// ExecLocked parses and executes one statement while holding db's lock in
+// the mode the statement requires: the read lock for read-only statements
+// (concurrent SELECTs proceed in parallel), the write lock for everything
+// that mutates.
+func ExecLocked(db *engine.DB, src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if ReadOnly(st) {
+		db.RLock()
+		defer db.RUnlock()
+	} else {
+		db.Lock()
+		defer db.Unlock()
+	}
+	return Run(db, st)
+}
+
+// ExecTraced parses and executes one statement under the exclusive lock
+// with access recording on, returning the recorded memory-access stream
+// alongside the result. The exclusive lock is required even for SELECTs:
+// the trace buffer is shared DB state, and a concurrent statement would
+// interleave its accesses into the recording.
+func ExecTraced(db *engine.DB, src string) (*Result, trace.Stream, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := st.(*Explain); ok {
+		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
+	}
+	db.Lock()
+	defer db.Unlock()
+	db.StartTrace()
+	res, err := Run(db, st)
+	stream := db.StopTrace()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, stream, nil
+}

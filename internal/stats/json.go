@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// JSON wire forms: a Set marshals as its counter snapshot (a flat
+// name→value object, so /stats payloads stay greppable), and a Histogram
+// marshals its exact bucket contents so a decode rebuilds an equivalent
+// histogram — quantiles, mean, min and max all survive the round trip.
+
+// MarshalJSON renders the set as a flat {"name": value} object.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Snapshot())
+}
+
+// UnmarshalJSON replaces the set's counters with the decoded snapshot.
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	if m == nil {
+		m = make(map[string]int64)
+	}
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+	return nil
+}
+
+// histogramJSON is the wire form of a Histogram. Buckets holds
+// (bucketIndex, count) pairs for the non-empty buckets; bucket i covers
+// [2^i, 2^(i+1)).
+type histogramJSON struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the histogram's full state.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := histogramJSON{Count: h.count, Sum: h.sum, Max: h.max}
+	if h.count > 0 {
+		out.Min = h.min
+	}
+	for i, n := range h.buckets {
+		if n > 0 {
+			out.Buckets = append(out.Buckets, [2]int64{int64(i), n})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON replaces the histogram's state with the decoded one.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	var buckets [64]int64
+	var total int64
+	for _, p := range in.Buckets {
+		i := p[0]
+		if i < 0 || i >= 64 {
+			return fmt.Errorf("stats: histogram bucket index %d out of range", i)
+		}
+		buckets[i] += p[1]
+		total += p[1]
+	}
+	if total != in.Count {
+		return fmt.Errorf("stats: histogram bucket counts sum to %d, want %d", total, in.Count)
+	}
+	h.mu.Lock()
+	h.buckets = buckets
+	h.count = in.Count
+	h.sum = in.Sum
+	h.max = in.Max
+	if in.Count == 0 {
+		h.min = math.MaxInt64
+	} else {
+		h.min = in.Min
+	}
+	h.mu.Unlock()
+	return nil
+}
