@@ -133,7 +133,7 @@ func BenchmarkFig05LatencyModel(b *testing.B) {
 // systems.
 func BenchmarkFig17Micro(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.MicroBench(experiments.ScaleSmall)
+		tab, err := experiments.MicroBench(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func BenchmarkFig17Micro(b *testing.B) {
 // Figure 19/20/21 views.
 func BenchmarkFig18Queries(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.QueryBench(experiments.ScaleSmall)
+		res, err := experiments.QueryBench(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func BenchmarkFig18Queries(b *testing.B) {
 // BenchmarkFig22Sensitivity sweeps the NVM cell latency.
 func BenchmarkFig22Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.LatencySensitivity(experiments.ScaleSmall)
+		tab, err := experiments.LatencySensitivity(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +173,7 @@ func BenchmarkFig22Sensitivity(b *testing.B) {
 // BenchmarkFig23GroupCaching sweeps the group caching depth on Q14/Q15.
 func BenchmarkFig23GroupCaching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.GroupCaching(experiments.ScaleSmall)
+		tab, err := experiments.GroupCaching(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -348,7 +348,7 @@ func BenchmarkAblationBinPackRotation(b *testing.B) {
 // technologies (the §2.3 extension claim).
 func BenchmarkTechnologies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.TechnologyComparison(experiments.ScaleSmall)
+		tab, err := experiments.TechnologyComparison(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -359,7 +359,7 @@ func BenchmarkTechnologies(b *testing.B) {
 // BenchmarkOLXPMix runs the mixed OLTP+OLAP scenario on all systems.
 func BenchmarkOLXPMix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.OLXPMix(experiments.ScaleSmall)
+		tab, err := experiments.OLXPMix(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -370,7 +370,7 @@ func BenchmarkOLXPMix(b *testing.B) {
 // BenchmarkEnergy runs the energy-model extension.
 func BenchmarkEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.EnergyComparison(experiments.ScaleSmall)
+		tab, err := experiments.EnergyComparison(experiments.ScaleSmall, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

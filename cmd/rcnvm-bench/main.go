@@ -4,10 +4,16 @@
 // Usage:
 //
 //	rcnvm-bench [-scale small|medium|full] [-run fig4,fig17,...]
+//	            [-workers N] [-timing]
 //
 // Experiments: table1, table2, fig4, fig5, fig17, fig18 (includes fig19,
 // fig20, fig21), fig22, fig23, tech (PCM/3D XPoint extension), energy
 // (energy-model extension). Default: all of them.
+//
+// Independent simulation cells of one experiment fan out over -workers
+// goroutines (default: one per CPU); results are identical to a
+// sequential run. -timing writes per-experiment wall-clock to stderr so
+// the tables on stdout stay diffable.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rcnvm/internal/experiments"
 )
@@ -23,6 +30,8 @@ func main() {
 	scaleFlag := flag.String("scale", "full", "workload scale: small|medium|full")
 	formatFlag := flag.String("format", "text", "output format: text|csv|md")
 	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp) or 'all'")
+	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	timingFlag := flag.Bool("timing", true, "print per-experiment wall-clock timing to stderr")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -35,6 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	workers := *workersFlag
 	render := func(t experiments.TableData) {
 		if err := t.RenderAs(os.Stdout, format); err != nil {
 			fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
@@ -53,73 +63,105 @@ func main() {
 		}
 	}
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
-		os.Exit(1)
+	total := time.Duration(0)
+	// step runs one experiment if selected, timing it so sweep-level perf
+	// regressions are visible without polluting the stdout tables.
+	step := func(id string, fn func() error) {
+		if !want[id] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
+			os.Exit(1)
+		}
+		d := time.Since(start)
+		total += d
+		if *timingFlag {
+			fmt.Fprintf(os.Stderr, "timing  %-7s %8.2fs\n", id, d.Seconds())
+		}
 	}
 
-	if want["table1"] {
+	step("table1", func() error {
 		fmt.Print(experiments.ConfigTable())
-	}
-	if want["table2"] {
+		return nil
+	})
+	step("table2", func() error {
 		fmt.Print(experiments.QueryTable())
-	}
-	if want["fig4"] {
+		return nil
+	})
+	step("fig4", func() error {
 		render(experiments.AreaOverhead())
-	}
-	if want["fig5"] {
+		return nil
+	})
+	step("fig5", func() error {
 		render(experiments.LatencyOverhead())
-	}
-	if want["fig17"] {
-		tab, err := experiments.MicroBench(scale)
+		return nil
+	})
+	step("fig17", func() error {
+		tab, err := experiments.MicroBench(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(tab)
+		return nil
+	})
+	if want["fig19"] || want["fig20"] || want["fig21"] {
+		want["fig18"] = true
 	}
-	if want["fig18"] || want["fig19"] || want["fig20"] || want["fig21"] {
-		res, err := experiments.QueryBench(scale)
+	step("fig18", func() error {
+		res, err := experiments.QueryBench(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(res.Exec)
 		render(res.Accesses)
 		render(res.BufMiss)
 		render(res.Coherence)
-	}
-	if want["fig22"] {
-		tab, err := experiments.LatencySensitivity(scale)
+		return nil
+	})
+	step("fig22", func() error {
+		tab, err := experiments.LatencySensitivity(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(tab)
-	}
-	if want["fig23"] {
-		tab, err := experiments.GroupCaching(scale)
+		return nil
+	})
+	step("fig23", func() error {
+		tab, err := experiments.GroupCaching(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(tab)
-	}
-	if want["tech"] {
-		tab, err := experiments.TechnologyComparison(scale)
+		return nil
+	})
+	step("tech", func() error {
+		tab, err := experiments.TechnologyComparison(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(tab)
-	}
-	if want["energy"] {
-		tab, err := experiments.EnergyComparison(scale)
+		return nil
+	})
+	step("energy", func() error {
+		tab, err := experiments.EnergyComparison(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(tab)
-	}
-	if want["olxp"] {
-		tab, err := experiments.OLXPMix(scale)
+		return nil
+	})
+	step("olxp", func() error {
+		tab, err := experiments.OLXPMix(scale, workers)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		render(tab)
+		return nil
+	})
+	if *timingFlag {
+		fmt.Fprintf(os.Stderr, "timing  total   %8.2fs (workers=%d)\n",
+			total.Seconds(), experiments.Workers(workers))
 	}
 }

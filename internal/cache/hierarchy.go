@@ -9,7 +9,9 @@ import (
 )
 
 // MemRequest is what the hierarchy sends toward the memory controller on an
-// LLC miss or a dirty write-back.
+// LLC miss or a dirty write-back. The hierarchy reuses one scratch
+// MemRequest for every call, so the mem callback must copy what it needs
+// and not retain the pointer past the call.
 type MemRequest struct {
 	Coord     addr.Coord
 	Orient    addr.Orientation
@@ -34,6 +36,7 @@ type Hierarchy struct {
 	eng  *event.Engine
 	st   *stats.Set
 
+	memReq  MemRequest    // scratch request reused across mem calls
 	streams []streamState // per-core stride-prefetcher training state
 }
 
@@ -45,10 +48,15 @@ type streamState struct {
 	stride int64
 }
 
+// waiter records one access blocked on an in-flight line. The completion
+// callback is the engine's (fn, ctx, arg) triple, so waking a waiter never
+// allocates; fn receives arg and the completion time.
 type waiter struct {
 	write   bool
 	wordIdx int
-	done    func(int64)
+	fn      event.Callback
+	ctx     any
+	arg     int64
 }
 
 type mshrEntry struct {
@@ -58,7 +66,9 @@ type mshrEntry struct {
 }
 
 // New builds a hierarchy for a device with the given geometry. mem is
-// invoked (synchronously, inside engine events) to start memory requests.
+// invoked (synchronously, inside engine events) to start memory requests;
+// the *MemRequest it receives is scratch space valid only for the duration
+// of the call.
 func New(cfg Config, geom addr.Geometry, dual bool, eng *event.Engine, st *stats.Set, mem func(*MemRequest)) *Hierarchy {
 	h := &Hierarchy{
 		cfg:  cfg,
@@ -90,9 +100,21 @@ type Access struct {
 	Pin      bool // pin the line on install/touch (group caching)
 }
 
-// Lookup performs the access, invoking done exactly once (via the engine)
+// callDone adapts a plain func(finish int64) completion callback to the
+// engine's Callback form (func values box into `any` without allocating).
+func callDone(ctx any, _, finish int64) { ctx.(func(int64))(finish) }
+
+// Access performs the access, invoking done exactly once (via the engine)
 // with the completion time.
 func (h *Hierarchy) Access(a Access, done func(int64)) {
+	h.AccessCall(a, callDone, done, 0)
+}
+
+// AccessCall is the allocation-free form of Access: fn(ctx, arg, finish) is
+// invoked exactly once, via the engine, at the access's completion time.
+// fn should be a static function and ctx a long-lived pointer so that
+// issuing a cache access does not allocate a closure.
+func (h *Hierarchy) AccessCall(a Access, fn event.Callback, ctx any, arg int64) {
 	if a.Core < 0 || a.Core >= h.cfg.Cores {
 		panic(fmt.Sprintf("cache: core %d out of range", a.Core))
 	}
@@ -103,7 +125,7 @@ func (h *Hierarchy) Access(a Access, done func(int64)) {
 		h.l1[a.Core].touch(ln)
 		pen := h.onHit(a, ln)
 		h.st.Inc(stats.L1Hits)
-		h.complete(now+h.cfg.L1LatPs+pen, done)
+		h.eng.AtCall(now+h.cfg.L1LatPs+pen, fn, ctx, arg)
 		return
 	}
 	// L2.
@@ -112,7 +134,7 @@ func (h *Hierarchy) Access(a Access, done func(int64)) {
 		pen := h.onHit(a, ln)
 		h.fillPrivate(h.l1[a.Core], a, ln.crossMask, ln.dirty && a.Write)
 		h.st.Inc(stats.L2Hits)
-		h.complete(now+h.cfg.L2LatPs+pen, done)
+		h.eng.AtCall(now+h.cfg.L2LatPs+pen, fn, ctx, arg)
 		return
 	}
 	// L3.
@@ -123,7 +145,7 @@ func (h *Hierarchy) Access(a Access, done func(int64)) {
 		h.fillPrivate(h.l2[a.Core], a, ln.crossMask, false)
 		h.fillPrivate(h.l1[a.Core], a, ln.crossMask, false)
 		h.st.Inc(stats.L3Hits)
-		h.complete(now+h.cfg.L3LatPs+pen, done)
+		h.eng.AtCall(now+h.cfg.L3LatPs+pen, fn, ctx, arg)
 		h.trainPrefetcher(a)
 		return
 	}
@@ -131,7 +153,7 @@ func (h *Hierarchy) Access(a Access, done func(int64)) {
 	// LLC miss. Secondary misses to an in-flight line merge into its MSHR
 	// and are not separate memory accesses (Figure 19 counts memory
 	// accesses, i.e. primary misses).
-	w := waiter{write: a.Write, wordIdx: a.WordIdx, done: done}
+	w := waiter{write: a.Write, wordIdx: a.WordIdx, fn: fn, ctx: ctx, arg: arg}
 	if e, ok := h.mshr[a.Key]; ok {
 		if e.cores == 0 {
 			// Demand access caught up with an in-flight prefetch.
@@ -147,13 +169,20 @@ func (h *Hierarchy) Access(a Access, done func(int64)) {
 	e := &mshrEntry{waiters: []waiter{w}, cores: 1 << uint(a.Core), pin: a.Pin}
 	h.mshr[a.Key] = e
 	key := a.Key
-	h.mem(&MemRequest{
+	h.sendMem(MemRequest{
 		Coord:  a.MemCoord,
 		Orient: keyOrient(key),
 		Gather: key.Gather,
 		Done:   func(finish int64) { h.fill(key, finish) },
 	})
 	h.trainPrefetcher(a)
+}
+
+// sendMem hands a request to the memory controller through the reusable
+// scratch slot, so the hierarchy does not allocate a MemRequest per miss.
+func (h *Hierarchy) sendMem(r MemRequest) {
+	h.memReq = r
+	h.mem(&h.memReq)
 }
 
 // maxPrefetchStride bounds the strides the prefetcher follows (it gives up
@@ -199,7 +228,7 @@ func (h *Hierarchy) trainPrefetcher(a Access) {
 		h.mshr[nk] = &mshrEntry{}
 		h.st.Inc(stats.Prefetches)
 		key := nk
-		h.mem(&MemRequest{
+		h.sendMem(MemRequest{
 			Coord:  key.Line.Base(),
 			Orient: key.Line.Orient,
 			Done:   func(finish int64) { h.fill(key, finish) },
@@ -212,10 +241,6 @@ func keyOrient(k Key) addr.Orientation {
 		return addr.Row
 	}
 	return k.Line.Orient
-}
-
-func (h *Hierarchy) complete(at int64, done func(int64)) {
-	h.eng.At(at, func() { done(at) })
 }
 
 // onHit applies write effects (dirty marking, crossing-duplicate update,
@@ -374,7 +399,7 @@ func (h *Hierarchy) fill(key Key, finish int64) {
 
 	at := finish + h.cfg.ResponseLatPs + pen
 	for _, w := range e.waiters {
-		h.complete(at, w.done)
+		h.eng.AtCall(at, w.fn, w.ctx, w.arg)
 	}
 }
 
@@ -485,7 +510,7 @@ func (h *Hierarchy) evictL3(v *line) {
 	if dirty {
 		h.st.Inc(stats.DirtyEvictions)
 		if !v.key.Gather {
-			h.mem(&MemRequest{
+			h.sendMem(MemRequest{
 				Coord:     v.key.Line.Base(),
 				Orient:    v.key.Line.Orient,
 				Write:     true,
@@ -537,7 +562,7 @@ func (h *Hierarchy) FlushDirty() int {
 			return
 		}
 		n++
-		h.mem(&MemRequest{
+		h.sendMem(MemRequest{
 			Coord:     ln.key.Line.Base(),
 			Orient:    ln.key.Line.Orient,
 			Write:     true,

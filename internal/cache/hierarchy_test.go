@@ -12,15 +12,19 @@ const memLatPs = 100_000
 
 type fakeMem struct {
 	eng      *event.Engine
-	requests []*MemRequest
+	requests []MemRequest
 }
 
+// submit copies the request: the hierarchy reuses the pointed-to struct, so
+// retaining *r past the call would observe later requests.
 func (m *fakeMem) submit(r *MemRequest) {
-	m.requests = append(m.requests, r)
+	m.requests = append(m.requests, *r)
 	if r.Done != nil {
-		m.eng.After(memLatPs, func() { r.Done(m.eng.Now()) })
+		m.eng.AfterCall(memLatPs, fireDone, r.Done, 0)
 	}
 }
+
+func fireDone(ctx any, _, now int64) { ctx.(func(int64))(now) }
 
 func (m *fakeMem) writebacks() int {
 	n := 0

@@ -53,6 +53,7 @@ type Runner struct {
 }
 
 type coreState struct {
+	r             *Runner // back-pointer, so static event callbacks need only the core
 	id            int
 	ops           trace.Stream
 	pc            int
@@ -67,7 +68,7 @@ type coreState struct {
 func NewRunner(cfg Config, eng *event.Engine, hier *cache.Hierarchy, geom addr.Geometry, st *stats.Set) *Runner {
 	r := &Runner{cfg: cfg, eng: eng, hier: hier, geom: geom, st: st, Latency: stats.NewHistogram()}
 	for i := 0; i < cfg.Cores; i++ {
-		r.cores = append(r.cores, &coreState{id: i})
+		r.cores = append(r.cores, &coreState{r: r, id: i})
 	}
 	return r
 }
@@ -92,15 +93,20 @@ func (r *Runner) Start() {
 // Done reports whether every core has retired its stream.
 func (r *Runner) Done() bool { return r.running == 0 }
 
+// stepEvent is the static issue event of one core: scheduled via AtCall
+// with the core as ctx, so per-op scheduling allocates no closure.
+func stepEvent(ctx any, _, _ int64) {
+	c := ctx.(*coreState)
+	c.stepScheduled = false
+	c.r.step(c)
+}
+
 func (r *Runner) scheduleStep(c *coreState, at int64) {
 	if c.stepScheduled || c.done {
 		return
 	}
 	c.stepScheduled = true
-	r.eng.At(at, func() {
-		c.stepScheduled = false
-		r.step(c)
-	})
+	r.eng.AtCall(at, stepEvent, c, 0)
 }
 
 // step issues ops until the core blocks (window full / barrier) or the
@@ -179,6 +185,18 @@ func (r *Runner) unblock(c *coreState) {
 	r.scheduleStep(c, r.eng.Now())
 }
 
+// memDone is the static completion callback of one memory op: ctx is the
+// issuing core, arg the issue time for demand ops (-1 for pinned software
+// prefetches, which are excluded from the latency histogram).
+func memDone(ctx any, arg, finish int64) {
+	c := ctx.(*coreState)
+	if arg >= 0 {
+		c.r.Latency.Observe(finish - arg)
+	}
+	c.outstanding--
+	c.r.unblock(c)
+}
+
 // issueMem translates the op into a cache access.
 func (r *Runner) issueMem(c *coreState, op trace.Op) {
 	var a cache.Access
@@ -200,12 +218,8 @@ func (r *Runner) issueMem(c *coreState, op trace.Op) {
 		}
 	}
 	start := r.eng.Now()
-	demand := !op.Pin
-	r.hier.Access(a, func(finish int64) {
-		if demand {
-			r.Latency.Observe(finish - start)
-		}
-		c.outstanding--
-		r.unblock(c)
-	})
+	if op.Pin {
+		start = -1
+	}
+	r.hier.AccessCall(a, memDone, c, start)
 }

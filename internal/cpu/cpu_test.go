@@ -33,8 +33,12 @@ func newRig(t *testing.T, cfg Config) *testRig {
 	ccfg.Cores = cfg.Cores
 	rig.hier = cache.New(ccfg, geom, true, rig.eng, rig.st, func(r *cache.MemRequest) {
 		rig.memReq++
-		if r.Done != nil {
-			rig.eng.After(memLatPs, func() { r.Done(rig.eng.Now()) })
+		// The hierarchy reuses *r as scratch: copy Done out before
+		// scheduling the response.
+		if done := r.Done; done != nil {
+			rig.eng.AfterCall(memLatPs, func(ctx any, _, now int64) {
+				ctx.(func(int64))(now)
+			}, done, 0)
 		}
 	})
 	rig.runner = NewRunner(cfg, rig.eng, rig.hier, geom, rig.st)

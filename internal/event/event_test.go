@@ -1,6 +1,8 @@
 package event
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -103,6 +105,123 @@ func TestClockMonotonic(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+type collector struct {
+	order []int64
+}
+
+func collect(ctx any, arg, now int64) {
+	c := ctx.(*collector)
+	c.order = append(c.order, arg, now)
+}
+
+func TestAtCall(t *testing.T) {
+	e := New()
+	var c collector
+	e.AtCall(30, collect, &c, 3)
+	e.AtCall(10, collect, &c, 1)
+	e.AfterCall(20, collect, &c, 2)
+	e.Run()
+	want := []int64{1, 10, 2, 20, 3, 30}
+	if len(c.order) != len(want) {
+		t.Fatalf("order = %v, want %v", c.order, want)
+	}
+	for i := range want {
+		if c.order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", c.order, want)
+		}
+	}
+}
+
+func TestAtCallClampedPast(t *testing.T) {
+	e := New()
+	var c collector
+	e.At(100, func() {
+		e.AtCall(50, collect, &c, 7) // in the past: clamps to 100
+	})
+	e.Run()
+	if len(c.order) != 2 || c.order[0] != 7 || c.order[1] != 100 {
+		t.Fatalf("order = %v, want [7 100]", c.order)
+	}
+}
+
+func TestAtFunc(t *testing.T) {
+	e := New()
+	var got int64 = -1
+	e.AtFunc(42, func(now int64) { got = now })
+	e.Run()
+	if got != 42 {
+		t.Errorf("AtFunc callback got %d, want 42", got)
+	}
+}
+
+// TestHeapOrderRandom drives the 4-ary heap with a large random schedule
+// and checks events fire in exact (time, insertion) order.
+func TestHeapOrderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	const n = 5000
+	times := make([]int64, n)
+	var fired []int64
+	for i := 0; i < n; i++ {
+		times[i] = rng.Int63n(977) // plenty of ties
+		i := i
+		e.At(times[i], func() { fired = append(fired, int64(i)) })
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	// Expected order: stable sort by time, insertion order breaking ties.
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = int64(i)
+	}
+	sort.SliceStable(want, func(a, b int) bool { return times[want[a]] < times[want[b]] })
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("event %d fired as %d, want %d", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestInterleavedPushPop exercises heap repair under a mixed workload where
+// every event schedules more events (the simulator's actual shape).
+func TestInterleavedPushPop(t *testing.T) {
+	e := New()
+	var prev int64 = -1
+	count := 0
+	var chain func()
+	chain = func() {
+		now := e.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d after %d", now, prev)
+		}
+		prev = now
+		count++
+		if count < 2000 {
+			// Fan out at varied offsets, including ties.
+			e.After(int64(count%5), chain)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		e.At(int64(i%3), chain)
+	}
+	e.Run()
+	if count < 2000 {
+		t.Fatalf("ran %d events, want >= 2000", count)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	e := New()
+	e.Reserve(1024)
+	e.At(5, func() {})
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+	e.Run()
 }
 
 func TestDeterminism(t *testing.T) {

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"rcnvm/internal/circuit"
 	"rcnvm/internal/config"
 	"rcnvm/internal/energy"
+	"rcnvm/internal/sim"
 	"rcnvm/internal/stats"
 	"rcnvm/internal/workload"
 )
@@ -217,8 +219,9 @@ func microSystems() []config.System {
 	return []config.System{config.RCNVM(), config.RRAM(), config.DRAM()}
 }
 
-// MicroBench regenerates Figure 17.
-func MicroBench(scale Scale) (TableData, error) {
+// MicroBench regenerates Figure 17. workers bounds the parallel simulation
+// cells (<= 0 means one per CPU).
+func MicroBench(scale Scale, workers int) (TableData, error) {
 	p := ParamsFor(scale)
 	t := TableData{
 		ID:    "Figure 17",
@@ -229,14 +232,23 @@ func MicroBench(scale Scale) (TableData, error) {
 	for _, m := range specs {
 		t.XLabels = append(t.XLabels, m.ID)
 	}
-	for _, sys := range microSystems() {
+	systems := microSystems()
+	ns := len(specs)
+	results, err := Sweep(context.Background(), workers, len(systems)*ns, func(i int) (sim.Result, error) {
+		sys, m := systems[i/ns], specs[i%ns]
+		res, err := workload.RunMicro(sys, m, p)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("micro %s on %s: %w", m.ID, sys.Name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return TableData{}, err
+	}
+	for si, sys := range systems {
 		s := Series{Label: sys.Name}
-		for _, m := range specs {
-			res, err := workload.RunMicro(sys, m, p)
-			if err != nil {
-				return TableData{}, fmt.Errorf("micro %s on %s: %w", m.ID, sys.Name, err)
-			}
-			s.Values = append(s.Values, res.MCycles())
+		for mi := range specs {
+			s.Values = append(s.Values, results[si*ns+mi].MCycles())
 		}
 		t.Series = append(t.Series, s)
 	}
@@ -253,11 +265,24 @@ type QueryResults struct {
 	Coherence TableData // Figure 21
 }
 
-// QueryBench regenerates Figures 18-21 from one set of runs.
-func QueryBench(scale Scale) (QueryResults, error) {
+// QueryBench regenerates Figures 18-21 from one set of runs. workers
+// bounds the parallel simulation cells (<= 0 means one per CPU).
+func QueryBench(scale Scale, workers int) (QueryResults, error) {
 	p := ParamsFor(scale)
 	systems := config.All()
 	queries := workload.Queries()
+	nq := len(queries)
+	results, err := Sweep(context.Background(), workers, len(systems)*nq, func(i int) (sim.Result, error) {
+		sys, q := systems[i/nq], queries[i%nq]
+		res, err := workload.Run(sys, q, p)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("%s on %s: %w", q.ID, sys.Name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return QueryResults{}, err
+	}
 
 	var out QueryResults
 	out.Exec = TableData{ID: "Figure 18", Title: "SQL benchmark execution time", Unit: "10^6 CPU cycles"}
@@ -273,15 +298,12 @@ func QueryBench(scale Scale) (QueryResults, error) {
 
 	var coh Series
 	coh.Label = "RC-NVM overhead"
-	for _, sys := range systems {
+	for si, sys := range systems {
 		exec := Series{Label: sys.Name}
 		acc := Series{Label: sys.Name}
 		buf := Series{Label: sys.Name}
-		for _, q := range queries {
-			res, err := workload.Run(sys, q, p)
-			if err != nil {
-				return QueryResults{}, fmt.Errorf("%s on %s: %w", q.ID, sys.Name, err)
-			}
+		for qi := range queries {
+			res := results[si*nq+qi]
 			exec.Values = append(exec.Values, res.MCycles())
 			acc.Values = append(acc.Values, float64(res.MemAccesses())/1e3)
 			buf.Values = append(buf.Values, res.BufferMissRate()*100)
@@ -327,8 +349,9 @@ func summarizeExec(t TableData) string {
 }
 
 // LatencySensitivity regenerates Figure 22: average Q1-Q13 execution time
-// as the NVM cell read/write latency scales.
-func LatencySensitivity(scale Scale) (TableData, error) {
+// as the NVM cell read/write latency scales. workers bounds the parallel
+// simulation cells (<= 0 means one per CPU).
+func LatencySensitivity(scale Scale, workers int) (TableData, error) {
 	p := ParamsFor(scale)
 	t := TableData{
 		ID:    "Figure 22",
@@ -340,37 +363,36 @@ func LatencySensitivity(scale Scale) (TableData, error) {
 		t.XLabels = append(t.XLabels, fmt.Sprintf("(%gns,%gns)", pt[0], pt[1]))
 	}
 	queries := workload.Queries()
+	nq := len(queries)
 
-	avgOver := func(sys config.System) (float64, error) {
+	// Sweep systems: (RC-NVM, RRAM) per latency point, then the DRAM
+	// reference; each system runs all of Q1-Q13.
+	systems := make([]config.System, 0, 2*len(points)+1)
+	for _, pt := range points {
+		systems = append(systems, config.RCNVMAt(pt[0], pt[1]), config.RRAMAt(pt[0], pt[1]))
+	}
+	systems = append(systems, config.DRAM())
+	results, err := Sweep(context.Background(), workers, len(systems)*nq, func(i int) (sim.Result, error) {
+		return workload.Run(systems[i/nq], queries[i%nq], p)
+	})
+	if err != nil {
+		return TableData{}, err
+	}
+	avgOver := func(si int) float64 {
 		var sum float64
-		for _, q := range queries {
-			res, err := workload.Run(sys, q, p)
-			if err != nil {
-				return 0, err
-			}
-			sum += res.MCycles()
+		for qi := 0; qi < nq; qi++ {
+			sum += results[si*nq+qi].MCycles()
 		}
-		return sum / float64(len(queries)), nil
+		return sum / float64(nq)
 	}
 
 	rc := Series{Label: "RC-NVM"}
 	rram := Series{Label: "RRAM"}
-	for _, pt := range points {
-		v, err := avgOver(config.RCNVMAt(pt[0], pt[1]))
-		if err != nil {
-			return TableData{}, err
-		}
-		rc.Values = append(rc.Values, v)
-		v, err = avgOver(config.RRAMAt(pt[0], pt[1]))
-		if err != nil {
-			return TableData{}, err
-		}
-		rram.Values = append(rram.Values, v)
+	for pi := range points {
+		rc.Values = append(rc.Values, avgOver(2*pi))
+		rram.Values = append(rram.Values, avgOver(2*pi+1))
 	}
-	dramAvg, err := avgOver(config.DRAM())
-	if err != nil {
-		return TableData{}, err
-	}
+	dramAvg := avgOver(len(systems) - 1)
 	dram := Series{Label: "DRAM (constant)"}
 	for range points {
 		dram.Values = append(dram.Values, dramAvg)
@@ -382,8 +404,9 @@ func LatencySensitivity(scale Scale) (TableData, error) {
 }
 
 // GroupCaching regenerates Figure 23: Q14/Q15 on RC-NVM across group
-// caching depths.
-func GroupCaching(scale Scale) (TableData, error) {
+// caching depths. workers bounds the parallel simulation cells (<= 0 means
+// one per CPU).
+func GroupCaching(scale Scale, workers int) (TableData, error) {
 	p := ParamsFor(scale)
 	t := TableData{
 		ID:    "Figure 23",
@@ -398,16 +421,20 @@ func GroupCaching(scale Scale) (TableData, error) {
 			t.XLabels = append(t.XLabels, fmt.Sprintf("%d", g))
 		}
 	}
-	for _, q := range workload.GroupQueries() {
+	queries := workload.GroupQueries()
+	nd := len(depths)
+	results, err := Sweep(context.Background(), workers, len(queries)*nd, func(i int) (sim.Result, error) {
+		pp := p
+		pp.GroupLines = depths[i%nd]
+		return workload.Run(config.RCNVM(), queries[i/nd], pp)
+	})
+	if err != nil {
+		return TableData{}, err
+	}
+	for qi, q := range queries {
 		s := Series{Label: q.ID}
-		for _, g := range depths {
-			pp := p
-			pp.GroupLines = g
-			res, err := workload.Run(config.RCNVM(), q, pp)
-			if err != nil {
-				return TableData{}, err
-			}
-			s.Values = append(s.Values, res.MCycles())
+		for di := range depths {
+			s.Values = append(s.Values, results[qi*nd+di].MCycles())
 		}
 		t.Series = append(t.Series, s)
 	}
@@ -418,8 +445,9 @@ func GroupCaching(scale Scale) (TableData, error) {
 
 // TechnologyComparison is the §2.3 extension experiment: the same RC
 // architecture over RRAM-, PCM- and 3D XPoint-class cells, against the
-// DRAM reference, averaged over Q1-Q13.
-func TechnologyComparison(scale Scale) (TableData, error) {
+// DRAM reference, averaged over Q1-Q13. workers bounds the parallel
+// simulation cells (<= 0 means one per CPU).
+func TechnologyComparison(scale Scale, workers int) (TableData, error) {
 	p := ParamsFor(scale)
 	t := TableData{
 		ID:    "Extension",
@@ -428,17 +456,20 @@ func TechnologyComparison(scale Scale) (TableData, error) {
 	}
 	queries := workload.Queries()
 	systems := config.Technologies()
+	nq := len(queries)
 	t.XLabels = []string{"avg Q1-Q13"}
-	for _, sys := range systems {
+	results, err := Sweep(context.Background(), workers, len(systems)*nq, func(i int) (sim.Result, error) {
+		return workload.Run(systems[i/nq], queries[i%nq], p)
+	})
+	if err != nil {
+		return TableData{}, err
+	}
+	for si, sys := range systems {
 		var sum float64
-		for _, q := range queries {
-			res, err := workload.Run(sys, q, p)
-			if err != nil {
-				return TableData{}, err
-			}
-			sum += res.MCycles()
+		for qi := 0; qi < nq; qi++ {
+			sum += results[si*nq+qi].MCycles()
 		}
-		t.Series = append(t.Series, Series{Label: sys.Name, Values: []float64{sum / float64(len(queries))}})
+		t.Series = append(t.Series, Series{Label: sys.Name, Values: []float64{sum / float64(nq)}})
 	}
 	t.Notes = append(t.Notes,
 		"the paper argues the RC design extends to PCM and 3D XPoint (§2.3); slower cells shrink but need not erase the win over DRAM")
@@ -447,8 +478,9 @@ func TechnologyComparison(scale Scale) (TableData, error) {
 
 // EnergyComparison is an extension experiment: estimated memory-system
 // energy for Q1-Q13 on every system, using the representative NVMain-style
-// energy models of internal/energy.
-func EnergyComparison(scale Scale) (TableData, error) {
+// energy models of internal/energy. workers bounds the parallel simulation
+// cells (<= 0 means one per CPU).
+func EnergyComparison(scale Scale, workers int) (TableData, error) {
 	p := ParamsFor(scale)
 	t := TableData{
 		ID:    "Extension (energy)",
@@ -459,15 +491,19 @@ func EnergyComparison(scale Scale) (TableData, error) {
 	for _, q := range queries {
 		t.XLabels = append(t.XLabels, q.ID)
 	}
-	for _, sys := range config.All() {
+	systems := config.All()
+	nq := len(queries)
+	results, err := Sweep(context.Background(), workers, len(systems)*nq, func(i int) (sim.Result, error) {
+		return workload.Run(systems[i/nq], queries[i%nq], p)
+	})
+	if err != nil {
+		return TableData{}, err
+	}
+	for si, sys := range systems {
 		model := energy.ForKind(sys.Device.Kind)
 		s := Series{Label: sys.Name}
-		for _, q := range queries {
-			res, err := workload.Run(sys, q, p)
-			if err != nil {
-				return TableData{}, err
-			}
-			s.Values = append(s.Values, model.Estimate(res).TotalUJ())
+		for qi := 0; qi < nq; qi++ {
+			s.Values = append(s.Values, model.Estimate(results[si*nq+qi]).TotalUJ())
 		}
 		t.Series = append(t.Series, s)
 	}
@@ -479,19 +515,24 @@ func EnergyComparison(scale Scale) (TableData, error) {
 // OLXPMix is the extension experiment for the paper's motivating scenario:
 // concurrent OLTP and OLAP against one copy of table-a. Reported per
 // system: execution time, orientation switches and the synonym/coherence
-// overhead ratio.
-func OLXPMix(scale Scale) (TableData, error) {
+// overhead ratio. workers bounds the parallel simulation cells (<= 0 means
+// one per CPU).
+func OLXPMix(scale Scale, workers int) (TableData, error) {
 	p := ParamsFor(scale)
 	t := TableData{
 		ID:      "Extension (OLXP)",
 		Title:   "Mixed OLTP + OLAP on one data copy",
 		XLabels: []string{"Mcycles", "orient switches", "synonym+coh %"},
 	}
-	for _, sys := range config.All() {
-		res, err := workload.RunMixed(sys, p)
-		if err != nil {
-			return TableData{}, err
-		}
+	systems := config.All()
+	results, err := Sweep(context.Background(), workers, len(systems), func(i int) (sim.Result, error) {
+		return workload.RunMixed(systems[i], p)
+	})
+	if err != nil {
+		return TableData{}, err
+	}
+	for si, sys := range systems {
+		res := results[si]
 		t.Series = append(t.Series, Series{Label: sys.Name, Values: []float64{
 			res.MCycles(),
 			float64(res.Counters[stats.OrientSwitches]),

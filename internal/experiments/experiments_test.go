@@ -58,7 +58,7 @@ func TestConfigAndQueryTables(t *testing.T) {
 }
 
 func TestMicroBenchSmall(t *testing.T) {
-	tab, err := MicroBench(ScaleSmall)
+	tab, err := MicroBench(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestMicroBenchSmall(t *testing.T) {
 }
 
 func TestQueryBenchSmall(t *testing.T) {
-	res, err := QueryBench(ScaleSmall)
+	res, err := QueryBench(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestQueryBenchSmall(t *testing.T) {
 }
 
 func TestGroupCachingSmall(t *testing.T) {
-	tab, err := GroupCaching(ScaleSmall)
+	tab, err := GroupCaching(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestGroupCachingSmall(t *testing.T) {
 }
 
 func TestLatencySensitivitySmall(t *testing.T) {
-	tab, err := LatencySensitivity(ScaleSmall)
+	tab, err := LatencySensitivity(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestParseScale(t *testing.T) {
 }
 
 func TestTechnologyComparisonSmall(t *testing.T) {
-	tab, err := TechnologyComparison(ScaleSmall)
+	tab, err := TechnologyComparison(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestTechnologyComparisonSmall(t *testing.T) {
 }
 
 func TestEnergyComparisonSmall(t *testing.T) {
-	tab, err := EnergyComparison(ScaleSmall)
+	tab, err := EnergyComparison(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestEnergyComparisonSmall(t *testing.T) {
 }
 
 func TestOLXPMixSmall(t *testing.T) {
-	tab, err := OLXPMix(ScaleSmall)
+	tab, err := OLXPMix(ScaleSmall, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

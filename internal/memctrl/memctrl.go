@@ -31,6 +31,7 @@ type Request struct {
 	Done func(finish int64)
 
 	arrive int64
+	pooled bool // allocated via Router.Alloc; recycled after completion
 }
 
 // Policy selects the scheduling policy.
@@ -54,6 +55,30 @@ type Controller struct {
 	queue     []*Request
 	busFreeAt int64
 	bankBusy  []bool
+	pool      *requestPool // shared free list (nil for standalone controllers)
+}
+
+// requestPool is a free list of Requests shared by a router's controllers.
+// The engine is single-threaded, so no locking: a request returns to the
+// pool once issue has extracted everything it needs, and the next LLC miss
+// reuses it instead of allocating.
+type requestPool struct {
+	free []*Request
+}
+
+func (p *requestPool) get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+func (p *requestPool) put(r *Request) {
+	*r = Request{pooled: true}
+	p.free = append(p.free, r)
 }
 
 // DefaultWindow is the FR-FCFS scheduling window: the 32-entry request
@@ -162,6 +187,15 @@ func (c *Controller) pick() int {
 	return best
 }
 
+// bankReady is the static bank-release event: invoked via AtCall with the
+// controller as ctx and the bank index as arg, so issuing allocates no
+// closure.
+func bankReady(ctx any, bank, _ int64) {
+	c := ctx.(*Controller)
+	c.bankBusy[bank] = false
+	c.schedule()
+}
+
 // issue runs one request through the device and the channel data bus.
 func (c *Controller) issue(r *Request) {
 	bank := c.dev.Config().Geom.BankID(r.Coord)
@@ -187,15 +221,17 @@ func (c *Controller) issue(r *Request) {
 	}
 
 	c.bankBusy[bank] = true
-	done := r.Done
 	// The bank accepts its next command at ReadyAt (command pipelining);
 	// the requester sees data only when the bus transfer completes.
-	c.eng.At(res.ReadyAt, func() {
-		c.bankBusy[bank] = false
-		c.schedule()
-	})
-	if done != nil {
-		c.eng.At(finish, func() { done(finish) })
+	c.eng.AtCall(res.ReadyAt, bankReady, c, int64(bank))
+	if r.Done != nil {
+		// finish >= now, so the callback fires with exactly finish.
+		c.eng.AtFunc(finish, r.Done)
+	}
+	// Everything the scheduled events need has been copied out; a pooled
+	// request can serve the next miss.
+	if r.pooled && c.pool != nil {
+		c.pool.put(r)
 	}
 }
 
@@ -203,16 +239,27 @@ func (c *Controller) issue(r *Request) {
 type Router struct {
 	ctrls []*Controller
 	dev   *device.Device
+	pool  requestPool
 }
 
 // NewRouter builds one controller per channel of dev.
 func NewRouter(eng *event.Engine, dev *device.Device, st *stats.Set, window int) *Router {
 	n := dev.Config().Geom.Channels()
-	ctrls := make([]*Controller, n)
-	for i := range ctrls {
-		ctrls[i] = NewController(eng, dev, st, window)
+	r := &Router{dev: dev}
+	r.ctrls = make([]*Controller, n)
+	for i := range r.ctrls {
+		r.ctrls[i] = NewController(eng, dev, st, window)
+		r.ctrls[i].pool = &r.pool
 	}
-	return &Router{ctrls: ctrls, dev: dev}
+	return r
+}
+
+// Alloc returns a zeroed Request from the router's free list. Requests
+// obtained here are recycled automatically once their transfer has been
+// issued and the Done callback captured, so the caller must not retain the
+// pointer after Submit.
+func (r *Router) Alloc() *Request {
+	return r.pool.get()
 }
 
 // SetPolicy switches every channel's scheduling policy.

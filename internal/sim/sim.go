@@ -43,14 +43,16 @@ func New(cfg config.System) (*System, error) {
 	router.SetPolicy(cfg.MemPolicy)
 	dual := cfg.Device.SupportsColumn()
 	hier := cache.New(cfg.Cache, cfg.Device.Geom, dual, eng, st, func(r *cache.MemRequest) {
-		router.Submit(&memctrl.Request{
-			Coord:     r.Coord,
-			Orient:    r.Orient,
-			Write:     r.Write,
-			Writeback: r.Writeback,
-			Gather:    r.Gather,
-			Done:      r.Done,
-		})
+		// r is the hierarchy's scratch request; copy into a pooled
+		// controller request (recycled after issue) before returning.
+		req := router.Alloc()
+		req.Coord = r.Coord
+		req.Orient = r.Orient
+		req.Write = r.Write
+		req.Writeback = r.Writeback
+		req.Gather = r.Gather
+		req.Done = r.Done
+		router.Submit(req)
 	})
 	runner := cpu.NewRunner(cfg.CPU, eng, hier, cfg.Device.Geom, st)
 	return &System{
