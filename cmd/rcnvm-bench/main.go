@@ -8,7 +8,10 @@
 //
 // Experiments: table1, table2, fig4, fig5, fig17, fig18 (includes fig19,
 // fig20, fig21), fig22, fig23, tech (PCM/3D XPoint extension), energy
-// (energy-model extension). Default: all of them.
+// (energy-model extension). Default: all of them. The reliability sweep
+// (rel: ECC corrections/uncorrectables and retry-latency overhead across
+// injected raw bit error rates) is opt-in via -run rel, keeping the
+// default output identical to fault-free builds.
 //
 // Independent simulation cells of one experiment fan out over -workers
 // goroutines (default: one per CPU); results are identical to a
@@ -29,7 +32,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "full", "workload scale: small|medium|full")
 	formatFlag := flag.String("format", "text", "output format: text|csv|md")
-	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp,rel) or 'all' (rel stays opt-in)")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	timingFlag := flag.Bool("timing", true, "print per-experiment wall-clock timing to stderr")
 	flag.Parse()
@@ -154,6 +157,14 @@ func main() {
 	})
 	step("olxp", func() error {
 		tab, err := experiments.OLXPMix(scale, workers)
+		if err != nil {
+			return err
+		}
+		render(tab)
+		return nil
+	})
+	step("rel", func() error {
+		tab, err := experiments.ReliabilitySweep(scale, workers)
 		if err != nil {
 			return err
 		}

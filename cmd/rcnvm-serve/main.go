@@ -12,6 +12,14 @@
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // queries before closing connections.
 //
+// Resilience knobs: -query-timeout bounds every statement (clients get a
+// retryable deadline_exceeded error), and the -fault-* flags enable the
+// deterministic fault-injection layer so uncorrectable memory errors
+// surface end to end as typed memory_error responses while /stats
+// reports the ECC accounting:
+//
+//	$ rcnvm-serve -query-timeout 2s -fault-rber 1e-4 -fault-seed 7
+//
 // Load-generator mode starts an in-process server and drives it with N
 // concurrent client sessions issuing a mixed OLTP+OLAP stream, then
 // prints the throughput report and the server's own /stats counters:
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"rcnvm/internal/engine"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/server"
 	"rcnvm/internal/sql"
 )
@@ -44,6 +53,12 @@ func main() {
 		loadgen  = flag.Int("loadgen", 0, "run the load generator with N clients against an in-process server, then exit")
 		duration = flag.Duration("duration", 3*time.Second, "load-generator run length")
 		timedEv  = flag.Int("timing-every", 0, "load generator: request timing attribution every n-th query (0 = never)")
+
+		queryTimeout = flag.Duration("query-timeout", 0, "per-statement deadline (0 = none; requests can only tighten it)")
+		faultRBER    = flag.Float64("fault-rber", 0, "transient raw bit error rate on stored data (0 = fault injection off)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (deterministic per seed)")
+		wearThresh   = flag.Int64("fault-wear-threshold", 0, "per-subarray writes before wear-out stuck-at cells appear (0 = no wear faults)")
+		wearRate     = flag.Float64("fault-wear-rate", 0, "asymptotic per-word stuck-at probability once fully worn")
 	)
 	flag.Parse()
 
@@ -59,8 +74,19 @@ func main() {
 	if _, err := sql.Exec(db, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
 		fatal(err)
 	}
+	if *faultRBER > 0 || (*wearThresh > 0 && *wearRate > 0) {
+		db.EnableFaults(fault.Config{
+			Enabled:             true,
+			Seed:                *faultSeed,
+			RBER:                *faultRBER,
+			WearThresholdWrites: *wearThresh,
+			WearStuckRate:       *wearRate,
+		})
+		fmt.Printf("rcnvm-serve: fault injection on (seed=%d rber=%g wear=%d@%g); uncorrectable reads surface as memory_error\n",
+			*faultSeed, *faultRBER, *wearThresh, *wearRate)
+	}
 
-	srv := server.New(db, server.Options{Workers: *workers, Queue: *queue})
+	srv := server.New(db, server.Options{Workers: *workers, Queue: *queue, QueryTimeout: *queryTimeout})
 
 	if *loadgen > 0 {
 		runLoadgen(srv, *loadgen, *duration, *timedEv)

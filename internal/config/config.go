@@ -11,6 +11,7 @@ import (
 	"rcnvm/internal/cache"
 	"rcnvm/internal/cpu"
 	"rcnvm/internal/device"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/memctrl"
 )
 
@@ -22,6 +23,10 @@ type System struct {
 	CPU       cpu.Config
 	MemWindow int
 	MemPolicy memctrl.Policy
+	// Fault configures raw-bit-error injection on the memory device (the
+	// zero value disables it, leaving the simulated timing byte-identical
+	// to a fault-free build).
+	Fault fault.Config
 }
 
 func base(dev device.Config) System {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"rcnvm/internal/addr"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/stats"
 )
 
@@ -134,6 +135,7 @@ type Device struct {
 	cfg   Config
 	banks []bank
 	stats *stats.Set
+	inj   *fault.Injector // nil = fault-free (the default)
 }
 
 // New creates a device with all banks precharged.
@@ -160,11 +162,20 @@ func (d *Device) Config() Config { return d.cfg }
 // Stats returns the device's counter set.
 func (d *Device) Stats() *stats.Set { return d.stats }
 
+// SetFaults installs a fault injector: cell reads pick up its injected
+// raw bit errors (decoded by the memory controller's ECC path) and writes
+// feed its wear accounting. nil restores fault-free operation.
+func (d *Device) SetFaults(inj *fault.Injector) { d.inj = inj }
+
+// Faults returns the installed fault injector (nil when fault-free).
+func (d *Device) Faults() *fault.Injector { return d.inj }
+
 // AccessResult reports the outcome of one device access.
 type AccessResult struct {
 	BufferHit bool  // served from the already-open buffer
 	Switched  bool  // a row<->column orientation switch occurred
 	Flushed   bool  // a dirty buffer had to be written back to the cells
+	CellRead  bool  // the cells were sensed (activation); raw bit errors, if injected, enter here
 	DataAt    int64 // time at which data is available at the bank pins
 	// ReadyAt is when the bank accepts its next command. Successive
 	// buffer hits pipeline at burst (tCCD) granularity, so a stream of
@@ -269,6 +280,7 @@ func (d *Device) Access(now int64, c addr.Coord, o addr.Orientation, write bool)
 		actDone := prechargeDone + t.RCDPs()
 		res.DataAt = actDone + t.CASPs()
 		res.ReadyAt = actDone + t.BurstPs()
+		res.CellRead = true
 		buf.open = true
 		buf.orient = o
 		buf.subarray = c.Subarray
@@ -284,6 +296,9 @@ func (d *Device) Access(now int64, c addr.Coord, o addr.Orientation, write bool)
 	}
 	if write {
 		buf.dirty = true
+		if d.inj != nil {
+			d.inj.RecordWrite(c)
+		}
 	}
 	b.readyAt = res.ReadyAt
 	return res

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"rcnvm/internal/addr"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/funcmem"
 	"rcnvm/internal/imdb"
 	"rcnvm/internal/trace"
@@ -65,6 +66,12 @@ type DB struct {
 	linear *imdb.LinearAllocator
 	tables map[string]*Table
 
+	// inj, when non-nil, runs every stored-word read through the
+	// (72,64) SECDED pipeline with injected raw bit errors: single-bit
+	// errors are corrected transparently, uncorrectable ones surface as
+	// *fault.UncorrectableError from whichever Table method hit them.
+	inj *fault.Injector
+
 	recording bool
 	traceOps  trace.Stream
 }
@@ -93,6 +100,37 @@ func Open(mode Mode) (*DB, error) {
 
 // Mem exposes the underlying memory (counters, footprint).
 func (db *DB) Mem() *funcmem.Memory { return db.mem }
+
+// EnableFaults installs a fault injector over the database's memory.
+// Configure it before serving traffic: the injector's statistical
+// parameters are read-only afterwards (its counters are atomic). Passing
+// a disabled config removes injection.
+func (db *DB) EnableFaults(cfg fault.Config) {
+	db.inj = fault.New(db.mem.Geom(), cfg)
+}
+
+// Faults returns the installed fault injector (nil when fault-free).
+func (db *DB) Faults() *fault.Injector { return db.inj }
+
+// readCell reads one stored word, running it through the ECC + fault
+// pipeline when injection is enabled. The returned word is the corrected
+// value; an uncorrectable error surfaces as *fault.UncorrectableError.
+func (db *DB) readCell(c addr.Coord, o addr.Orientation) (uint64, error) {
+	v := db.mem.ReadCoord(c, o)
+	if db.inj == nil {
+		return v, nil
+	}
+	return db.inj.CheckWord(c, o, v)
+}
+
+// writeCell stores one word, feeding the wear model when injection is
+// enabled.
+func (db *DB) writeCell(c addr.Coord, o addr.Orientation, v uint64) {
+	db.mem.WriteCoord(c, o, v)
+	if db.inj != nil {
+		db.inj.RecordWrite(c)
+	}
+}
 
 // Mode returns the addressing mode.
 func (db *DB) Mode() Mode { return db.mode }
@@ -217,6 +255,11 @@ func (t *Table) LiveRows() []int {
 // Capacity returns the allocated tuple capacity.
 func (t *Table) Capacity() int { return t.capacity }
 
+// CellCoord returns the physical coordinate of one word of one tuple —
+// the hook fault-injection tooling and tests use to target specific
+// stored cells.
+func (t *Table) CellCoord(row, word int) addr.Coord { return t.place.Cell(row, word) }
+
 // scanOrient is the orientation for reading one field across tuples.
 func (t *Table) scanOrient(row int) addr.Orientation {
 	if t.db.mode == RowOnly {
@@ -282,7 +325,7 @@ func (t *Table) Append(vals ...uint64) (int, error) {
 	t.deleted = append(t.deleted, false)
 	o := t.fetchOrient(row)
 	for w, v := range vals {
-		t.db.mem.WriteCoord(t.place.Cell(row, w), o, v)
+		t.db.writeCell(t.place.Cell(row, w), o, v)
 	}
 	return row, nil
 }
@@ -296,7 +339,11 @@ func (t *Table) Tuple(row int) ([]uint64, error) {
 	out := make([]uint64, L)
 	o := t.fetchOrient(row)
 	for w := range out {
-		out[w] = t.db.mem.ReadCoord(t.place.Cell(row, w), o)
+		v, err := t.db.readCell(t.place.Cell(row, w), o)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = v
 	}
 	return out, nil
 }
@@ -313,7 +360,11 @@ func (t *Table) Field(row int, field string) ([]uint64, error) {
 	out := make([]uint64, words)
 	o := t.fetchOrient(row)
 	for k := range out {
-		out[k] = t.db.mem.ReadCoord(t.place.Cell(row, off+k), o)
+		v, err := t.db.readCell(t.place.Cell(row, off+k), o)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
 	}
 	return out, nil
 }
@@ -336,7 +387,7 @@ func (t *Table) SetField(row int, field string, vals ...uint64) error {
 		o = t.scanOrient(row)
 	}
 	for k, v := range vals {
-		t.db.mem.WriteCoord(t.place.Cell(row, off+k), o, v)
+		t.db.writeCell(t.place.Cell(row, off+k), o, v)
 	}
 	return nil
 }
@@ -356,7 +407,11 @@ func (t *Table) ScanWhere(field string, pred func(vals []uint64) bool) ([]int, e
 		}
 		o := t.scanOrient(row)
 		for k := 0; k < words; k++ {
-			buf[k] = t.db.mem.ReadCoord(t.place.Cell(row, off+k), o)
+			v, err := t.db.readCell(t.place.Cell(row, off+k), o)
+			if err != nil {
+				return nil, err
+			}
+			buf[k] = v
 		}
 		if pred(buf) {
 			out = append(out, row)
@@ -379,7 +434,11 @@ func (t *Table) SumField(field string, rows []int) (uint64, error) {
 		if err := t.checkLive(row); err != nil {
 			return err
 		}
-		sum += t.db.mem.ReadCoord(t.place.Cell(row, off), t.scanOrient(row))
+		v, err := t.db.readCell(t.place.Cell(row, off), t.scanOrient(row))
+		if err != nil {
+			return err
+		}
+		sum += v
 		return nil
 	}
 	if rows == nil {
@@ -464,7 +523,10 @@ func Join(a *Table, aField string, b *Table, bField string) ([][2]int, error) {
 		if a.deleted[row] {
 			continue
 		}
-		k := a.db.mem.ReadCoord(a.place.Cell(row, offA), a.scanOrient(row))
+		k, err := a.db.readCell(a.place.Cell(row, offA), a.scanOrient(row))
+		if err != nil {
+			return nil, err
+		}
 		build[k] = append(build[k], row)
 	}
 	var out [][2]int
@@ -472,7 +534,10 @@ func Join(a *Table, aField string, b *Table, bField string) ([][2]int, error) {
 		if b.deleted[row] {
 			continue
 		}
-		k := b.db.mem.ReadCoord(b.place.Cell(row, offB), b.scanOrient(row))
+		k, err := b.db.readCell(b.place.Cell(row, offB), b.scanOrient(row))
+		if err != nil {
+			return nil, err
+		}
 		for _, ar := range build[k] {
 			out = append(out, [2]int{ar, row})
 		}
@@ -501,7 +566,10 @@ func (t *Table) MinMaxField(field string, rows []int) (min, max uint64, err erro
 		if err := t.checkLive(row); err != nil {
 			return err
 		}
-		v := t.db.mem.ReadCoord(t.place.Cell(row, off), t.scanOrient(row))
+		v, err := t.db.readCell(t.place.Cell(row, off), t.scanOrient(row))
+		if err != nil {
+			return err
+		}
 		if first || v < min {
 			min = v
 		}
@@ -560,8 +628,14 @@ func (t *Table) GroupSum(keyField, sumField string, rows []int) ([]GroupRow, err
 		if err := t.checkLive(row); err != nil {
 			return err
 		}
-		k := t.db.mem.ReadCoord(t.place.Cell(row, offK), t.scanOrient(row))
-		v := t.db.mem.ReadCoord(t.place.Cell(row, offS), t.scanOrient(row))
+		k, err := t.db.readCell(t.place.Cell(row, offK), t.scanOrient(row))
+		if err != nil {
+			return err
+		}
+		v, err := t.db.readCell(t.place.Cell(row, offS), t.scanOrient(row))
+		if err != nil {
+			return err
+		}
 		g, ok := acc[k]
 		if !ok {
 			g = &GroupRow{Key: k}
@@ -614,8 +688,11 @@ func (t *Table) Vacuum() (int, error) {
 			o := t.fetchOrient(row)
 			no := t.fetchOrient(next)
 			for w := 0; w < L; w++ {
-				v := t.db.mem.ReadCoord(t.place.Cell(row, w), o)
-				t.db.mem.WriteCoord(t.place.Cell(next, w), no, v)
+				v, err := t.db.readCell(t.place.Cell(row, w), o)
+				if err != nil {
+					return 0, err
+				}
+				t.db.writeCell(t.place.Cell(next, w), no, v)
 			}
 		}
 		next++

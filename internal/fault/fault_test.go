@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"rcnvm/internal/addr"
+	"rcnvm/internal/ecc"
+)
+
+func testGeom() addr.Geometry {
+	return addr.Geometry{
+		ChannelBits: 1, RankBits: 1, BankBits: 2, SubarrayBits: 2,
+		RowBits: 8, ColumnBits: 8, DualAddress: true,
+	}
+}
+
+func TestDisabledConfigYieldsNilInjector(t *testing.T) {
+	if in := New(testGeom(), Config{}); in != nil {
+		t.Fatalf("zero-value config must build a nil injector, got %+v", in)
+	}
+	if in := New(testGeom(), Config{Seed: 1, RBER: 0.5}); in != nil {
+		t.Fatalf("Enabled=false must build a nil injector even with rates set")
+	}
+}
+
+func TestCheckWordCleanWithoutFaultModes(t *testing.T) {
+	in := New(testGeom(), Config{Enabled: true, Seed: 42})
+	c := addr.Coord{Row: 3, Column: 7}
+	for i := 0; i < 1000; i++ {
+		v, err := in.CheckWord(c, addr.Row, 0xdeadbeef)
+		if err != nil || v != 0xdeadbeef {
+			t.Fatalf("no fault modes enabled: got v=%x err=%v", v, err)
+		}
+	}
+	if got := in.Counts(); got != (Counts{}) {
+		t.Fatalf("counters must stay zero, got %+v", got)
+	}
+}
+
+func TestTargetedStuckSingleBitCorrects(t *testing.T) {
+	in := New(testGeom(), Config{Enabled: true, Seed: 7})
+	c := addr.Coord{Bank: 1, Subarray: 2, Row: 10, Column: 20}
+	in.AddStuck(c, 1)
+	const data = 0x0123456789abcdef
+	for i := 0; i < 10; i++ {
+		v, err := in.CheckWord(c, addr.Column, data)
+		if err != nil {
+			t.Fatalf("single stuck bit must be correctable: %v", err)
+		}
+		if v != data {
+			t.Fatalf("corrected word mismatch: got %x want %x", v, data)
+		}
+	}
+	cnt := in.Counts()
+	if cnt.Corrected != 10 || cnt.Uncorrectable != 0 || cnt.StuckBits != 10 {
+		t.Fatalf("counts = %+v, want 10 corrected / 0 uncorrectable / 10 stuck bits", cnt)
+	}
+}
+
+func TestTargetedStuckDoubleBitUncorrectable(t *testing.T) {
+	in := New(testGeom(), Config{Enabled: true, Seed: 7})
+	c := addr.Coord{Row: 1, Column: 2}
+	in.AddStuck(c, 2)
+	_, err := in.CheckWord(c, addr.Row, 99)
+	if err == nil {
+		t.Fatal("double stuck bits must be uncorrectable")
+	}
+	var ue *UncorrectableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error must be *UncorrectableError, got %T: %v", err, err)
+	}
+	if ue.Coord != c || ue.Orient != addr.Row {
+		t.Fatalf("error coordinates wrong: %+v", ue)
+	}
+	if !errors.Is(err, ecc.ErrUncorrectable) {
+		t.Fatal("UncorrectableError must unwrap to ecc.ErrUncorrectable")
+	}
+	// Faults at one word must not leak to neighbours.
+	if _, err := in.CheckWord(addr.Coord{Row: 1, Column: 3}, addr.Row, 99); err != nil {
+		t.Fatalf("neighbouring word must be clean: %v", err)
+	}
+}
+
+func TestStuckBankFailsEveryRead(t *testing.T) {
+	g := testGeom()
+	dead := addr.Coord{Channel: 1, Rank: 0, Bank: 2}
+	in := New(g, Config{Enabled: true, Seed: 3, StuckBankEnabled: true, StuckBank: g.BankID(dead)})
+	for i := 0; i < 20; i++ {
+		c := dead
+		c.Row, c.Column = uint32(i), uint32(2*i)
+		if _, err := in.CheckWord(c, addr.Row, uint64(i)); err == nil {
+			t.Fatalf("read %d of stuck bank must fail", i)
+		}
+	}
+	ok := addr.Coord{Channel: 0, Bank: 2, Row: 5}
+	if _, err := in.CheckWord(ok, addr.Row, 1); err != nil {
+		t.Fatalf("other banks must be unaffected: %v", err)
+	}
+}
+
+func TestWearThresholdActivatesStuckCells(t *testing.T) {
+	g := testGeom()
+	in := New(g, Config{
+		Enabled: true, Seed: 11,
+		WearThresholdWrites: 100, WearStuckRate: 1.0,
+	})
+	c := addr.Coord{Subarray: 1, Row: 4, Column: 4}
+	// Below the threshold: no wear faults.
+	for i := 0; i < 100; i++ {
+		in.RecordWrite(c)
+	}
+	if _, err := in.CheckWord(c, addr.Row, 5); err != nil {
+		t.Fatalf("at threshold, cells must still be clean: %v", err)
+	}
+	// Push far past the threshold: rate 1.0 fully ramped means every word
+	// carries a double stuck bit.
+	for i := 0; i < 200; i++ {
+		in.RecordWrite(c)
+	}
+	if in.SubarrayWrites(c) != 300 {
+		t.Fatalf("SubarrayWrites = %d, want 300", in.SubarrayWrites(c))
+	}
+	if _, err := in.CheckWord(c, addr.Row, 5); err == nil {
+		t.Fatal("fully worn subarray at rate 1.0 must fail uncorrectably")
+	}
+	// A different subarray saw no writes and stays clean.
+	other := addr.Coord{Subarray: 2, Row: 4, Column: 4}
+	if _, err := in.CheckWord(other, addr.Row, 5); err != nil {
+		t.Fatalf("unworn subarray must be clean: %v", err)
+	}
+}
+
+func TestTransientDeterminismAndRate(t *testing.T) {
+	g := testGeom()
+	mk := func(seed uint64) *Injector {
+		return New(g, Config{Enabled: true, Seed: seed, RBER: 1e-3})
+	}
+	// Same seed, same word, same tick sequence => identical flip counts.
+	a, b := mk(5), mk(5)
+	c := addr.Coord{Row: 9, Column: 9}
+	key := a.wordKey(c)
+	for tick := uint64(0); tick < 2000; tick++ {
+		if fa, fb := a.transientFlips(key, tick), b.transientFlips(key, tick); fa != fb {
+			t.Fatalf("tick %d: same seed diverged (%d vs %d)", tick, fa, fb)
+		}
+	}
+	// The observed flip rate should be in the right ballpark: with
+	// RBER=1e-3, P(>=1 flip per 72-bit codeword) ~= 6.95%.
+	in := mk(17)
+	hits := 0
+	const draws = 20000
+	for tick := uint64(0); tick < draws; tick++ {
+		if in.transientFlips(key, tick) > 0 {
+			hits++
+		}
+	}
+	rate := float64(hits) / draws
+	if rate < 0.05 || rate > 0.09 {
+		t.Fatalf("codeword error rate %.4f outside [0.05, 0.09] for RBER=1e-3", rate)
+	}
+	// RBER=0 never flips.
+	z := New(g, Config{Enabled: true, Seed: 5})
+	for tick := uint64(0); tick < 1000; tick++ {
+		if z.transientFlips(key, tick) != 0 {
+			t.Fatal("RBER=0 must never flip")
+		}
+	}
+}
+
+func TestCheckLineDeterministicAndCountsOutcomes(t *testing.T) {
+	g := testGeom()
+	in := New(g, Config{Enabled: true, Seed: 23, RBER: 0.01})
+	id := g.LineOf(addr.Coord{Row: 12, Column: 16}, addr.Row)
+	first := make([]LineOutcome, 50)
+	for i := range first {
+		first[i] = in.CheckLine(id, uint64(i)*977)
+	}
+	in2 := New(g, Config{Enabled: true, Seed: 23, RBER: 0.01})
+	sawCorrected := false
+	for i := range first {
+		got := in2.CheckLine(id, uint64(i)*977)
+		if got != first[i] {
+			t.Fatalf("tick %d: CheckLine not deterministic: %+v vs %+v", i, got, first[i])
+		}
+		if got.Corrected > 0 {
+			sawCorrected = true
+		}
+	}
+	if !sawCorrected {
+		t.Fatal("RBER=1% over 50 line reads should correct at least one word")
+	}
+}
+
+func TestFlipPositionsDistinctAndStuckStable(t *testing.T) {
+	g := testGeom()
+	in := New(g, Config{Enabled: true, Seed: 31})
+	var p1, p2 [8]int
+	in.flipPositions(1234, 7, 2, 5, &p1)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if p1[i] == p1[j] {
+				t.Fatalf("positions not distinct: %v", p1[:5])
+			}
+		}
+		if p1[i] < 0 || p1[i] >= ecc.CodewordBits {
+			t.Fatalf("position %d out of range: %v", p1[i], p1[:5])
+		}
+	}
+	// Stuck positions (first nStuck) must not depend on the tick.
+	in.flipPositions(1234, 99999, 2, 5, &p2)
+	if p1[0] != p2[0] || p1[1] != p2[1] {
+		t.Fatalf("stuck positions moved across ticks: %v vs %v", p1[:2], p2[:2])
+	}
+}
+
+func TestRetryAndWriteCounters(t *testing.T) {
+	in := New(testGeom(), Config{Enabled: true, Seed: 1})
+	in.RecordRetry()
+	in.RecordRetry()
+	in.RecordWrite(addr.Coord{})
+	got := in.Counts()
+	if got.Retries != 2 || got.Writes != 1 {
+		t.Fatalf("counts = %+v, want 2 retries / 1 write", got)
+	}
+}

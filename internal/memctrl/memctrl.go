@@ -12,6 +12,7 @@ import (
 	"rcnvm/internal/addr"
 	"rcnvm/internal/device"
 	"rcnvm/internal/event"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/stats"
 )
 
@@ -56,6 +57,10 @@ type Controller struct {
 	busFreeAt int64
 	bankBusy  []bool
 	pool      *requestPool // shared free list (nil for standalone controllers)
+
+	// faultErr is the first uncorrectable memory error this channel
+	// observed (nil when clean); the Router aggregates across channels.
+	faultErr *fault.UncorrectableError
 }
 
 // requestPool is a free list of Requests shared by a router's controllers.
@@ -196,10 +201,52 @@ func bankReady(ctx any, bank, _ int64) {
 	c.schedule()
 }
 
+// eccCheck runs the (72,64) SECDED decode over the 8 codewords of a line
+// just sensed from the cells for a demand read. Detected-uncorrectable
+// errors trigger up to fault.MaxReadRetries re-reads (a fresh activation:
+// tRP+tRCD+tCAS each), which re-sample transient flips while stuck-at
+// errors persist; an error that survives every retry is recorded as the
+// run's typed UncorrectableError unless the injector is configured to
+// keep going. Returns the added latency.
+func (c *Controller) eccCheck(inj *fault.Injector, r *Request) int64 {
+	id := c.dev.Config().Geom.LineOf(r.Coord, r.Orient)
+	t := c.dev.Config().Timing
+	retryPs := t.RPPs() + t.RCDPs() + t.CASPs()
+	now := uint64(c.eng.Now())
+	penalty := int64(0)
+	for attempt := 0; ; attempt++ {
+		out := inj.CheckLine(id, now+uint64(attempt)*0x9e3779b9)
+		if out.Corrected > 0 {
+			c.st.Add(stats.ECCCorrected, int64(out.Corrected))
+		}
+		if out.Uncorrectable == 0 {
+			return penalty
+		}
+		if attempt >= fault.MaxReadRetries {
+			c.st.Add(stats.ECCUncorrectable, int64(out.Uncorrectable))
+			if c.faultErr == nil && !inj.Config().ContinueOnUncorrectable {
+				c.faultErr = &fault.UncorrectableError{
+					Coord: r.Coord, Orient: r.Orient, TimePs: c.eng.Now(),
+				}
+			}
+			return penalty
+		}
+		c.st.Inc(stats.ECCRetries)
+		inj.RecordRetry()
+		penalty += retryPs
+	}
+}
+
 // issue runs one request through the device and the channel data bus.
 func (c *Controller) issue(r *Request) {
 	bank := c.dev.Config().Geom.BankID(r.Coord)
 	res := c.dev.Access(c.eng.Now(), r.Coord, r.Orient, r.Write)
+	if inj := c.dev.Faults(); inj != nil && res.CellRead && !r.Write && !r.Writeback {
+		if penalty := c.eccCheck(inj, r); penalty > 0 {
+			res.DataAt += penalty
+			res.ReadyAt += penalty
+		}
+	}
 
 	transferStart := res.DataAt
 	if c.busFreeAt > transferStart {
@@ -285,3 +332,18 @@ func (r *Router) Pending() int {
 
 // Device returns the routed device.
 func (r *Router) Device() *device.Device { return r.dev }
+
+// FaultErr returns the earliest uncorrectable memory error any channel
+// observed, or nil when the run was clean (or fault injection is off).
+func (r *Router) FaultErr() error {
+	var first *fault.UncorrectableError
+	for _, c := range r.ctrls {
+		if c.faultErr != nil && (first == nil || c.faultErr.TimePs < first.TimePs) {
+			first = c.faultErr
+		}
+	}
+	if first == nil {
+		return nil // avoid a typed-nil error interface
+	}
+	return first
+}

@@ -3,10 +3,20 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
+
+// ErrSessionBroken marks a session whose request/response framing can no
+// longer be trusted — a deadline fired mid-exchange or the transport
+// failed, so a late response could be matched to the wrong request. The
+// session must be closed and redialed (RetryClient does this
+// automatically).
+var ErrSessionBroken = errors.New("server: session broken, redial required")
 
 // Client speaks the TCP line protocol: one JSON request per line, one
 // JSON response per line, in order. A Client is one server session; it is
@@ -14,11 +24,13 @@ import (
 // several Clients for parallelism — that is what the load generator and
 // throughput benchmark do).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	sc   *bufio.Scanner
-	enc  *json.Encoder
-	id   uint64
+	mu      sync.Mutex
+	conn    net.Conn
+	sc      *bufio.Scanner
+	enc     *json.Encoder
+	id      uint64
+	timeout time.Duration
+	broken  bool
 }
 
 // Dial opens a session to a server's TCP front end.
@@ -30,6 +42,24 @@ func Dial(addr string) (*Client, error) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, maxLineBytes), maxLineBytes)
 	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// SetTimeout sets a per-request wall-clock deadline, enforced with
+// net.Conn deadlines on both the send and the response read. When it
+// fires, the call fails with a net timeout error and the session is
+// marked broken (the response may still arrive and would desynchronize
+// the framing). 0 disables the deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Broken reports whether the session must be redialed.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
 }
 
 // Query executes one statement. The returned error covers transport and
@@ -48,26 +78,183 @@ func (c *Client) QueryTimed(q string) (*Response, error) {
 func (c *Client) do(req Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, ErrSessionBroken
+	}
 	c.id++
 	req.ID = c.id
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("server: send: %w", err)
 	}
 	if !c.sc.Scan() {
+		c.broken = true
 		if err := c.sc.Err(); err != nil {
 			return nil, fmt.Errorf("server: receive: %w", err)
 		}
-		return nil, fmt.Errorf("server: connection closed")
+		return nil, fmt.Errorf("server: connection closed: %w", ErrSessionBroken)
 	}
 	resp := new(Response)
 	if err := json.Unmarshal(c.sc.Bytes(), resp); err != nil {
+		c.broken = true
 		return nil, fmt.Errorf("server: bad response: %w", err)
 	}
 	if resp.ID != req.ID {
-		return resp, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
+		c.broken = true
+		return resp, fmt.Errorf("server: response id %d for request %d: %w",
+			resp.ID, req.ID, ErrSessionBroken)
 	}
 	return resp, resp.Err()
 }
 
 // Close ends the session.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// IsRetryable classifies an error from Client.Query (or RetryClient):
+// true means the same request may succeed if resent after a backoff —
+// congestion, deadlines and transport failures; false means a semantic
+// error (bad SQL, uncorrectable memory) a retry cannot fix.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrSessionBroken) {
+		return true
+	}
+	var we *WireError
+	if errors.As(err, &we) {
+		return we.Retryable
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true // timeouts and transport failures: redial and retry
+	}
+	return false
+}
+
+// RetryPolicy shapes RetryClient's backoff. The zero value means 4
+// attempts starting at 10ms, doubling to a 1s cap, with full jitter.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+	// Timeout is the per-request deadline applied to every attempt
+	// (Client.SetTimeout); 0 disables it.
+	Timeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// RetryClient wraps the line protocol with availability-minded retries:
+// retryable failures (overload, deadlines, broken sessions) are resent
+// after exponential backoff with jitter, redialing the session whenever
+// it broke. Semantic errors return immediately.
+type RetryClient struct {
+	addr string
+	pol  RetryPolicy
+
+	mu  sync.Mutex
+	c   *Client
+	rng *rand.Rand
+}
+
+// DialRetry creates a retrying client. The initial dial is lazy, so the
+// server may come up after the client.
+func DialRetry(addr string, pol RetryPolicy) *RetryClient {
+	return &RetryClient{
+		addr: addr,
+		pol:  pol.withDefaults(),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Query executes one statement with retries.
+func (r *RetryClient) Query(q string) (*Response, error) {
+	return r.do(Request{Query: q})
+}
+
+// Attempts exposes how many tries do would make (tests).
+func (r *RetryClient) Attempts() int { return r.pol.MaxAttempts }
+
+func (r *RetryClient) do(req Request) (*Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff(attempt))
+		}
+		c, err := r.sessionLocked()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if c.Broken() {
+			c.Close()
+			r.c = nil
+		}
+		if !IsRetryable(err) {
+			return resp, err
+		}
+	}
+	return nil, fmt.Errorf("server: giving up after %d attempts: %w", r.pol.MaxAttempts, lastErr)
+}
+
+// sessionLocked returns the live session, dialing one if needed.
+func (r *RetryClient) sessionLocked() (*Client, error) {
+	if r.c != nil {
+		return r.c, nil
+	}
+	c, err := Dial(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	if r.pol.Timeout > 0 {
+		c.SetTimeout(r.pol.Timeout)
+	}
+	r.c = c
+	return c, nil
+}
+
+// backoff is exponential with full jitter: uniform over (0, base<<attempt]
+// capped at MaxDelay, so synchronized clients spread out after an
+// overload spike instead of stampeding in lockstep.
+func (r *RetryClient) backoff(attempt int) time.Duration {
+	d := r.pol.BaseDelay << (attempt - 1)
+	if d > r.pol.MaxDelay || d <= 0 {
+		d = r.pol.MaxDelay
+	}
+	return time.Duration(1 + r.rng.Int63n(int64(d)))
+}
+
+// Close drops the current session.
+func (r *RetryClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}

@@ -18,6 +18,19 @@ const (
 	SessionsOpened = "server.sessions_opened" // TCP connections accepted
 	SessionsActive = "server.sessions_active" // TCP connections currently open
 	BadRequests    = "server.bad_requests"    // undecodable protocol messages
+	MemoryErrors   = "server.memory_errors"   // statements failed by uncorrectable memory errors
+	Panics         = "server.panics"          // executor panics recovered into internal_error
+	Timeouts       = "server.timeouts"        // statements past their deadline
+)
+
+// Fault-layer counter names merged into /stats when injection is enabled.
+const (
+	FaultTransientBits = "fault.transient_bits"
+	FaultStuckBits     = "fault.stuck_bits"
+	FaultCorrected     = "fault.ecc_corrected"
+	FaultUncorrectable = "fault.ecc_uncorrectable"
+	FaultMiscorrected  = "fault.ecc_miscorrected"
+	FaultWrites        = "fault.writes"
 )
 
 // Metrics aggregates the service-level counters and the query-latency

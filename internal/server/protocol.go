@@ -31,6 +31,17 @@ const (
 	CodeBadRequest = "bad_request"
 	// CodeSQL: the statement failed to parse or execute.
 	CodeSQL = "sql_error"
+	// CodeMemory: the statement hit an uncorrectable memory error (ECC
+	// detected more errors than it can correct). Not retryable — stuck-at
+	// errors persist, so a retry would re-read the same dead cells.
+	CodeMemory = "memory_error"
+	// CodeInternal: the statement crashed the executor; the panic was
+	// recovered and the server kept serving.
+	CodeInternal = "internal_error"
+	// CodeTimeout: the statement exceeded its deadline. The statement
+	// keeps running to completion on its worker (the engine cannot abandon
+	// a scan mid-flight), but the response slot is released.
+	CodeTimeout = "deadline_exceeded"
 )
 
 // Typed sentinel errors for admission-control outcomes; both the pool and
@@ -52,6 +63,11 @@ type Request struct {
 	// statements execute under the exclusive lock (trace recording is
 	// shared state), so use it for diagnosis, not on the hot path.
 	Timing bool `json:"timing,omitempty"`
+	// TimeoutMs caps this statement's execution in milliseconds; past the
+	// deadline the client receives CodeTimeout. 0 means the server default
+	// (Options.QueryTimeout). The effective deadline is the smaller of the
+	// two.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 }
 
 // Timing is the simulated memory time of one statement, as issued and
@@ -72,6 +88,9 @@ type Timing struct {
 type WireError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Retryable hints that the same request may succeed if resent after a
+	// backoff (transient congestion or a deadline, not a semantic error).
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 func (e *WireError) Error() string { return e.Code + ": " + e.Message }
@@ -105,5 +124,9 @@ func (r *Response) Err() error {
 }
 
 func errResponse(id uint64, code, msg string) *Response {
-	return &Response{ID: id, Error: &WireError{Code: code, Message: msg}}
+	return &Response{ID: id, Error: &WireError{
+		Code:      code,
+		Message:   msg,
+		Retryable: code == CodeOverloaded || code == CodeTimeout,
+	}}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 
 	"rcnvm/internal/config"
 	"rcnvm/internal/engine"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/sim"
 	"rcnvm/internal/sql"
 	"rcnvm/internal/trace"
@@ -31,10 +33,19 @@ type Options struct {
 	// Queue is the admission queue capacity (default 4*Workers). When
 	// the queue is full, requests are rejected with CodeOverloaded.
 	Queue int
+	// QueryTimeout caps every statement's execution time (0 = no limit).
+	// A request's TimeoutMs can only tighten it. Past the deadline the
+	// client gets CodeTimeout while the statement runs to completion on
+	// its worker (the engine cannot abandon a scan mid-flight) — the
+	// shutdown drain still covers it.
+	QueryTimeout time.Duration
 
 	// execDelay stretches every statement; tests use it to make
 	// drain/overload windows deterministic.
 	execDelay time.Duration
+	// panicOn makes the executor panic on this exact query text; tests
+	// use it to exercise the recover path.
+	panicOn string
 }
 
 // Server serves SQL over one shared engine.DB.
@@ -122,6 +133,11 @@ func (s *Server) serveConn(c net.Conn) {
 	s.met.Set.Inc(SessionsOpened)
 	s.met.Set.Add(SessionsActive, 1)
 	defer func() {
+		// A panic anywhere in the session loop kills only this session,
+		// never the server.
+		if r := recover(); r != nil {
+			s.met.Set.Inc(Panics)
+		}
 		s.met.Set.Add(SessionsActive, -1)
 		c.Close()
 		s.mu.Lock()
@@ -190,11 +206,21 @@ func (s *Server) ListenHTTP(addr string) (net.Addr, error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	defer func() {
+		// net/http would recover a handler panic itself, but by aborting
+		// the response; recover here instead so the client still gets a
+		// typed internal_error payload and the metric fires.
+		if rec := recover(); rec != nil {
+			s.met.Set.Inc(Panics)
+			writeJSON(w, http.StatusInternalServerError,
+				errResponse(req.ID, CodeInternal, fmt.Sprintf("internal error: %v", rec)))
+		}
+	}()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	var req Request
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes)).Decode(&req); err != nil {
 		s.met.Set.Inc(BadRequests)
 		writeJSON(w, http.StatusBadRequest, errResponse(0, CodeBadRequest, err.Error()))
@@ -206,6 +232,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch resp.Error.Code {
 		case CodeOverloaded, CodeShutdown:
 			status = http.StatusServiceUnavailable
+		case CodeTimeout:
+			status = http.StatusGatewayTimeout
+		case CodeMemory, CodeInternal:
+			status = http.StatusInternalServerError
 		default:
 			status = http.StatusBadRequest
 		}
@@ -214,7 +244,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot(s.pool))
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -224,8 +254,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // Stats returns the current /stats payload (the in-process view of the
-// endpoint).
-func (s *Server) Stats() StatsSnapshot { return s.met.snapshot(s.pool) }
+// endpoint). When the engine runs with fault injection, the injector's
+// accounting is merged in under the fault.* names.
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.met.snapshot(s.pool)
+	if inj := s.db.Faults(); inj != nil {
+		c := inj.Counts()
+		snap.Counters[FaultTransientBits] = c.TransientBits
+		snap.Counters[FaultStuckBits] = c.StuckBits
+		snap.Counters[FaultCorrected] = c.Corrected
+		snap.Counters[FaultUncorrectable] = c.Uncorrectable
+		snap.Counters[FaultMiscorrected] = c.Miscorrected
+		snap.Counters[FaultWrites] = c.Writes
+	}
+	return snap
+}
 
 // Do admits one request to the worker pool and waits for its response.
 // It is the transport-independent core: both front ends and in-process
@@ -259,8 +302,29 @@ func (s *Server) doHeld(req *Request) (resp *Response, release func()) {
 	s.inflight.Add(1)
 	s.mu.Unlock()
 
+	timeout := s.opts.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if t := time.Duration(req.TimeoutMs) * time.Millisecond; timeout == 0 || t < timeout {
+			timeout = t
+		}
+	}
+
 	done := make(chan *Response, 1)
-	err := s.pool.Submit(func() { done <- s.execute(req) })
+	// abandoned arbitrates the waiter/worker race on timeout: exactly one
+	// side wins the CompareAndSwap, and the loser's side owns nothing. If
+	// the worker wins, it delivers to done and the waiter (even one whose
+	// deadline fired concurrently) receives it; if the waiter wins, the
+	// worker discards its response and releases the in-flight count itself
+	// when the statement eventually completes.
+	var abandoned atomic.Bool
+	err := s.pool.Submit(func() {
+		resp := s.execute(req)
+		if abandoned.CompareAndSwap(false, true) {
+			done <- resp
+			return
+		}
+		s.inflight.Done() // timed-out request: the drain waited for us
+	})
 	if err != nil {
 		s.inflight.Done()
 		if err == ErrShuttingDown {
@@ -270,14 +334,45 @@ func (s *Server) doHeld(req *Request) (resp *Response, release func()) {
 		s.met.Set.Inc(Rejected)
 		return errResponse(req.ID, CodeOverloaded, err.Error()), nil
 	}
-	return <-done, func() { s.inflight.Done() }
+	if timeout <= 0 {
+		return <-done, func() { s.inflight.Done() }
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	select {
+	case resp := <-done:
+		return resp, func() { s.inflight.Done() }
+	case <-ctx.Done():
+		if abandoned.CompareAndSwap(false, true) {
+			s.met.Set.Inc(Timeouts)
+			// release is nil: the worker releases the in-flight count when
+			// the abandoned statement finishes.
+			return errResponse(req.ID, CodeTimeout,
+				fmt.Sprintf("query exceeded %v deadline", timeout)), nil
+		}
+		// The worker won the race at the deadline: its response is in done.
+		return <-done, func() { s.inflight.Done() }
+	}
 }
 
-// execute runs one admitted statement on a pool worker.
-func (s *Server) execute(req *Request) *Response {
+// execute runs one admitted statement on a pool worker. A panic anywhere
+// in parse/execute/replay is recovered into a typed internal_error — one
+// poisoned statement must not take down the worker (and with it the
+// pool's capacity) or the server.
+func (s *Server) execute(req *Request) (resp *Response) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.Set.Inc(Panics)
+			s.met.observe(time.Since(start), 0, true)
+			resp = errResponse(req.ID, CodeInternal, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
 	if s.opts.execDelay > 0 {
 		time.Sleep(s.opts.execDelay)
+	}
+	if s.opts.panicOn != "" && req.Query == s.opts.panicOn {
+		panic("injected test panic")
 	}
 	var (
 		res    *sql.Result
@@ -291,10 +386,9 @@ func (s *Server) execute(req *Request) *Response {
 		res, err = sql.ExecLocked(s.db, req.Query)
 	}
 	if err != nil {
-		s.met.observe(time.Since(start), 0, true)
-		return errResponse(req.ID, CodeSQL, err.Error())
+		return s.execError(req.ID, start, err)
 	}
-	resp := &Response{
+	resp = &Response{
 		ID:       req.ID,
 		Columns:  res.Columns,
 		Rows:     res.Rows,
@@ -306,12 +400,24 @@ func (s *Server) execute(req *Request) *Response {
 		// Replay outside any lock: the replay only reads the recorded
 		// stream, never the database.
 		if resp.Timing, err = replayTiming(stream); err != nil {
-			s.met.observe(time.Since(start), 0, true)
-			return errResponse(req.ID, CodeSQL, err.Error())
+			return s.execError(req.ID, start, err)
 		}
 	}
 	s.met.observe(time.Since(start), len(resp.Rows), false)
 	return resp
+}
+
+// execError maps a statement failure to its wire code: uncorrectable
+// memory errors (from the engine's checked reads or a timing replay over
+// faulty memory) become the typed memory_error, everything else sql_error.
+func (s *Server) execError(id uint64, start time.Time, err error) *Response {
+	s.met.observe(time.Since(start), 0, true)
+	var ue *fault.UncorrectableError
+	if errors.As(err, &ue) {
+		s.met.Set.Inc(MemoryErrors)
+		return errResponse(id, CodeMemory, err.Error())
+	}
+	return errResponse(id, CodeSQL, err.Error())
 }
 
 // replayTiming runs the statement's access trace on the RC-NVM timing

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"rcnvm/internal/config"
+	"rcnvm/internal/ecc"
+	"rcnvm/internal/fault"
+	"rcnvm/internal/stats"
+	"rcnvm/internal/trace"
+)
+
+// TestStuckBankSurfacesTypedError wires a dead bank under a scan and
+// checks the run fails with the typed, unwrappable error.
+func TestStuckBankSurfacesTypedError(t *testing.T) {
+	cfg := config.RCNVM()
+	cfg.Fault = fault.Config{Enabled: true, Seed: 1, StuckBankEnabled: true, StuckBank: 0}
+	_, err := RunOn(cfg, []trace.Stream{linearScan(cfg.Device.Geom, 256)})
+	if err == nil {
+		t.Fatal("scan over a stuck bank must fail")
+	}
+	var ue *fault.UncorrectableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *fault.UncorrectableError in chain, got %v", err)
+	}
+	if !errors.Is(err, ecc.ErrUncorrectable) {
+		t.Fatalf("error must unwrap to ecc.ErrUncorrectable: %v", err)
+	}
+}
+
+// TestRBERCountsAndRetries runs a scan at an aggressive RBER in
+// counting-only mode and checks corrections (and the occasional retry)
+// show up in the stats without failing the run.
+func TestRBERCountsAndRetries(t *testing.T) {
+	cfg := config.RCNVM()
+	cfg.Fault = fault.Config{Enabled: true, Seed: 9, RBER: 2e-3, ContinueOnUncorrectable: true}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]trace.Stream{linearScan(cfg.Device.Geom, 4096)})
+	if err != nil {
+		t.Fatalf("counting-only mode must not fail the run: %v", err)
+	}
+	if res.Counters[stats.ECCCorrected] == 0 {
+		t.Fatal("RBER=2e-3 over a 4096-word scan should correct at least one codeword")
+	}
+	if s.Faults == nil || s.Faults.Counts().TransientBits == 0 {
+		t.Fatal("injector must report transient bits")
+	}
+}
+
+// TestFaultInjectionDeterministic runs the same faulty configuration
+// twice and requires identical results — the sweep-reproducibility
+// contract (ticks come from the simulated clock, not wall time).
+func TestFaultInjectionDeterministic(t *testing.T) {
+	run := func() (Result, fault.Counts) {
+		cfg := config.RCNVM()
+		cfg.Fault = fault.Config{Enabled: true, Seed: 123, RBER: 1e-3, ContinueOnUncorrectable: true}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run([]trace.Stream{linearScan(cfg.Device.Geom, 2048)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.Faults.Counts()
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if r1.TimePs != r2.TimePs || !reflect.DeepEqual(r1.Counters, r2.Counters) {
+		t.Fatalf("fault-injected runs diverged:\n%v\nvs\n%v", r1.Counters, r2.Counters)
+	}
+	if c1 != c2 {
+		t.Fatalf("injector counts diverged: %+v vs %+v", c1, c2)
+	}
+}
+
+// TestFaultsDisabledIsByteIdentical checks the zero-cost-off contract:
+// wiring the (disabled) fault layer must not perturb timing or counters.
+func TestFaultsDisabledIsByteIdentical(t *testing.T) {
+	base := mustRun(t, config.RCNVM(), []trace.Stream{linearScan(config.RCNVM().Device.Geom, 2048)})
+	cfg := config.RCNVM()
+	cfg.Fault = fault.Config{} // explicit zero value
+	again := mustRun(t, cfg, []trace.Stream{linearScan(cfg.Device.Geom, 2048)})
+	if base.TimePs != again.TimePs || !reflect.DeepEqual(base.Counters, again.Counters) {
+		t.Fatalf("disabled fault layer changed the run:\n%v\nvs\n%v", base.Counters, again.Counters)
+	}
+	for _, k := range []string{stats.ECCCorrected, stats.ECCUncorrectable, stats.ECCRetries} {
+		if _, ok := again.Counters[k]; ok {
+			t.Fatalf("disabled run must not touch %s", k)
+		}
+	}
+}
+
+// TestRetryRecoversTransientError uses a retry-observable configuration:
+// at a very high RBER with retries, most transient double-bit errors
+// clear on re-read, so the run completes even without counting-only mode
+// for moderate scan lengths... but that is probabilistic. Instead, pin
+// the behaviour with a targeted single stuck bit: always corrected, never
+// fatal, and visible in the ECC counters.
+func TestTargetedStuckBitCorrectedInTimingPath(t *testing.T) {
+	cfg := config.RCNVM()
+	cfg.Fault = fault.Config{Enabled: true, Seed: 77}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := linearScan(cfg.Device.Geom, 256)
+	s.Faults.AddStuck(stream[0].Coord, 1)
+	res, err := s.Run([]trace.Stream{stream})
+	if err != nil {
+		t.Fatalf("single stuck bit must be corrected, not fatal: %v", err)
+	}
+	if res.Counters[stats.ECCCorrected] == 0 {
+		t.Fatal("stuck bit under a scan must show up as a corrected codeword")
+	}
+	if res.Counters[stats.ECCUncorrectable] != 0 {
+		t.Fatal("no uncorrectable errors expected")
+	}
+}

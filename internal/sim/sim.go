@@ -13,6 +13,7 @@ import (
 	"rcnvm/internal/cpu"
 	"rcnvm/internal/device"
 	"rcnvm/internal/event"
+	"rcnvm/internal/fault"
 	"rcnvm/internal/memctrl"
 	"rcnvm/internal/stats"
 	"rcnvm/internal/trace"
@@ -27,6 +28,7 @@ type System struct {
 	Hier   *cache.Hierarchy
 	Runner *cpu.Runner
 	Stats  *stats.Set
+	Faults *fault.Injector // nil unless Cfg.Fault is enabled
 
 	ran bool
 }
@@ -39,6 +41,8 @@ func New(cfg config.System) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	inj := fault.New(cfg.Device.Geom, cfg.Fault)
+	dev.SetFaults(inj) // nil when disabled: the fault-free fast path
 	router := memctrl.NewRouter(eng, dev, st, cfg.MemWindow)
 	router.SetPolicy(cfg.MemPolicy)
 	dual := cfg.Device.SupportsColumn()
@@ -63,6 +67,7 @@ func New(cfg config.System) (*System, error) {
 		Hier:   hier,
 		Runner: runner,
 		Stats:  st,
+		Faults: inj,
 	}, nil
 }
 
@@ -103,6 +108,12 @@ func (s *System) Run(streams []trace.Stream) (Result, error) {
 	// how the paper measures query latency).
 	s.Hier.FlushDirty()
 	s.Eng.Run()
+	// An injected memory error that survived ECC correction and the
+	// controller's read retries fails the run with the typed error
+	// (unless the fault config opts into counting-only mode).
+	if err := s.Router.FaultErr(); err != nil {
+		return Result{}, fmt.Errorf("sim: %s: %w", s.Cfg.Name, err)
+	}
 	return Result{
 		Name:       s.Cfg.Name,
 		TimePs:     s.Runner.FinishAt,

@@ -122,6 +122,13 @@ const (
 	SchedFRHits       = "mem.sched_fr_hits" // requests promoted by FR-FCFS
 	SchedStarved      = "mem.sched_starvation_overrides"
 
+	// Reliability: the (72,64) SECDED path of the memory controller.
+	// Corrected/uncorrectable count codewords (8 per line read); retries
+	// count controller re-reads after a detected error.
+	ECCCorrected     = "ecc.corrected_words"
+	ECCUncorrectable = "ecc.uncorrectable_words"
+	ECCRetries       = "ecc.read_retries"
+
 	// Cache level.
 	L1Hits         = "cache.l1_hits"
 	L2Hits         = "cache.l2_hits"
