@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rcnvm-bench [-scale small|medium|full] [-run fig4,fig17,...]
-//	            [-workers N] [-timing]
+//	            [-workers N] [-timing] [-telemetry]
 //
 // Experiments: table1, table2, fig4, fig5, fig17, fig18 (includes fig19,
 // fig20, fig21), fig22, fig23, tech (PCM/3D XPoint extension), energy
@@ -35,6 +35,7 @@ func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp,rel) or 'all' (rel stays opt-in)")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	timingFlag := flag.Bool("timing", true, "print per-experiment wall-clock timing to stderr")
+	telemetryFlag := flag.Bool("telemetry", false, "append a per-bank telemetry report for the mixed workload on RC-NVM")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -171,6 +172,14 @@ func main() {
 		render(tab)
 		return nil
 	})
+	if *telemetryFlag {
+		rep, err := experiments.TelemetryReport(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+	}
 	if *timingFlag {
 		fmt.Fprintf(os.Stderr, "timing  total   %8.2fs (workers=%d)\n",
 			total.Seconds(), experiments.Workers(workers))

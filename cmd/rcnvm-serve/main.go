@@ -20,6 +20,17 @@
 //
 //	$ rcnvm-serve -query-timeout 2s -fault-rber 1e-4 -fault-seed 7
 //
+// Observability: GET /metrics serves the Prometheus text format (server
+// counters, latency histogram with quantiles, per-bank telemetry) and
+// GET /stats/banks the per-bank JSON snapshot. A request with
+// "trace": true gets a Chrome trace-event document back on the response
+// (save it and open in Perfetto); -trace-every samples statements
+// server-side into -trace-ndjson; -pprof-addr serves net/http/pprof and
+// expvar on a separate port:
+//
+//	$ rcnvm-serve -trace-every 100 -trace-ndjson traces.ndjson -pprof-addr localhost:6060
+//	$ curl localhost:7071/metrics
+//
 // Load-generator mode starts an in-process server and drives it with N
 // concurrent client sessions issuing a mixed OLTP+OLAP stream, then
 // prints the throughput report and the server's own /stats counters:
@@ -30,8 +41,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +71,9 @@ func main() {
 		timedEv  = flag.Int("timing-every", 0, "load generator: request timing attribution every n-th query (0 = never)")
 
 		queryTimeout = flag.Duration("query-timeout", 0, "per-statement deadline (0 = none; requests can only tighten it)")
+		traceEvery   = flag.Int("trace-every", 0, "server-side sample every n-th statement for span tracing (0 = explicit trace requests only)")
+		traceNDJSON  = flag.String("trace-ndjson", "", "append sampled traces to this file as NDJSON Chrome trace events (\"-\" = stderr)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof and expvar on this address (\"\" disables)")
 		faultRBER    = flag.Float64("fault-rber", 0, "transient raw bit error rate on stored data (0 = fault injection off)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault-injection seed (deterministic per seed)")
 		wearThresh   = flag.Int64("fault-wear-threshold", 0, "per-subarray writes before wear-out stuck-at cells appear (0 = no wear faults)")
@@ -86,7 +105,32 @@ func main() {
 			*faultSeed, *faultRBER, *wearThresh, *wearRate)
 	}
 
-	srv := server.New(db, server.Options{Workers: *workers, Queue: *queue, QueryTimeout: *queryTimeout})
+	var traceSink io.Writer
+	switch *traceNDJSON {
+	case "":
+	case "-":
+		traceSink = os.Stderr
+	default:
+		f, err := os.OpenFile(*traceNDJSON, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		traceSink = f
+	}
+
+	srv := server.New(db, server.Options{
+		Workers:      *workers,
+		Queue:        *queue,
+		QueryTimeout: *queryTimeout,
+		TraceEvery:   *traceEvery,
+		TraceSink:    traceSink,
+		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	if *loadgen > 0 {
 		runLoadgen(srv, *loadgen, *duration, *timedEv)
@@ -103,7 +147,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("rcnvm-serve: HTTP on %s (POST /query, GET /stats)\n", haddr)
+		fmt.Printf("rcnvm-serve: HTTP on %s (POST /query, GET /stats, GET /stats/banks, GET /metrics)\n", haddr)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -144,6 +188,23 @@ func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+}
+
+// servePprof serves the Go diagnostics endpoints (net/http/pprof and
+// expvar) on their own mux and port, kept off the query service's mux so
+// profiling access can be firewalled separately.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	fmt.Printf("rcnvm-serve: pprof on %s (/debug/pprof/, /debug/vars)\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "rcnvm-serve: pprof:", err)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"rcnvm/internal/device"
 	"rcnvm/internal/fault"
 	"rcnvm/internal/memctrl"
+	"rcnvm/internal/obs"
 )
 
 // System is one complete simulated machine.
@@ -27,6 +28,11 @@ type System struct {
 	// zero value disables it, leaving the simulated timing byte-identical
 	// to a fault-free build).
 	Fault fault.Config
+	// Telemetry, when non-nil, receives per-bank counters (hits, queue
+	// depth, bus occupancy) from the device and memory controllers of
+	// systems built from this config. nil (the default) disables it; the
+	// run's timing and counters are identical either way.
+	Telemetry *obs.Telemetry
 }
 
 func base(dev device.Config) System {

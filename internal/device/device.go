@@ -18,6 +18,7 @@ import (
 
 	"rcnvm/internal/addr"
 	"rcnvm/internal/fault"
+	"rcnvm/internal/obs"
 	"rcnvm/internal/stats"
 )
 
@@ -136,6 +137,7 @@ type Device struct {
 	banks []bank
 	stats *stats.Set
 	inj   *fault.Injector // nil = fault-free (the default)
+	tel   *obs.Telemetry  // nil = per-bank telemetry off (the default)
 }
 
 // New creates a device with all banks precharged.
@@ -169,6 +171,14 @@ func (d *Device) SetFaults(inj *fault.Injector) { d.inj = inj }
 
 // Faults returns the installed fault injector (nil when fault-free).
 func (d *Device) Faults() *fault.Injector { return d.inj }
+
+// SetTelemetry installs per-bank telemetry: every access records its
+// bank, orientation and buffer hit/miss. nil (the default) disables it;
+// the disabled path costs one pointer comparison per access.
+func (d *Device) SetTelemetry(t *obs.Telemetry) { d.tel = t }
+
+// Telemetry returns the installed telemetry (nil when disabled).
+func (d *Device) Telemetry() *obs.Telemetry { return d.tel }
 
 // AccessResult reports the outcome of one device access.
 type AccessResult struct {
@@ -299,6 +309,9 @@ func (d *Device) Access(now int64, c addr.Coord, o addr.Orientation, write bool)
 		if d.inj != nil {
 			d.inj.RecordWrite(c)
 		}
+	}
+	if d.tel != nil {
+		d.tel.Access(d.cfg.Geom.BankID(c), o == addr.Column, res.BufferHit)
 	}
 	b.readyAt = res.ReadyAt
 	return res

@@ -30,6 +30,25 @@ func BenchmarkEventEngine(b *testing.B) {
 	b.ReportMetric(float64(chains*(depth+1)), "events/op")
 }
 
+// TestEventEngineZeroAllocSteadyState pins the 0 allocs/op contract
+// deterministically (benchmarks average the warm-up iteration away; this
+// measures steady state directly). The observability layer relies on it:
+// with no recorder attached, tracing must cost nothing here.
+func TestEventEngineZeroAllocSteadyState(t *testing.T) {
+	const chains, depth = 64, 16
+	e := New()
+	round := func() {
+		for j := 0; j < chains; j++ {
+			e.AtCall(e.Now()+int64(j), pump, e, depth)
+		}
+		e.Run()
+	}
+	round() // warm: grows the queue slice to its high-water mark
+	if allocs := testing.AllocsPerRun(10, round); allocs != 0 {
+		t.Fatalf("steady-state allocs per round = %g, want 0", allocs)
+	}
+}
+
 // BenchmarkEventEngineClosure is the same workload through the legacy
 // At(func()) form, for comparing the closure-based path's cost.
 func BenchmarkEventEngineClosure(b *testing.B) {

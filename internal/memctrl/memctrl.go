@@ -13,6 +13,7 @@ import (
 	"rcnvm/internal/device"
 	"rcnvm/internal/event"
 	"rcnvm/internal/fault"
+	"rcnvm/internal/obs"
 	"rcnvm/internal/stats"
 )
 
@@ -57,6 +58,14 @@ type Controller struct {
 	busFreeAt int64
 	bankBusy  []bool
 	pool      *requestPool // shared free list (nil for standalone controllers)
+
+	// rec records per-request phase spans (queue/activate/hit/burst) under
+	// process name proc; tel accumulates per-bank counters. Both are nil by
+	// default: the disabled path is one pointer comparison per request, so
+	// the event-engine hot loop stays allocation-free.
+	rec  *obs.Recorder
+	proc string
+	tel  *obs.Telemetry
 
 	// faultErr is the first uncorrectable memory error this channel
 	// observed (nil when clean); the Router aggregates across channels.
@@ -119,6 +128,9 @@ func (c *Controller) Submit(r *Request) {
 		panic(fmt.Sprintf("memctrl: gather request on %s", c.dev.Config().Kind))
 	}
 	r.arrive = c.eng.Now()
+	if c.tel != nil {
+		c.tel.Enqueue(c.dev.Config().Geom.BankID(r.Coord))
+	}
 	c.queue = append(c.queue, r)
 	c.st.Max(stats.QueueMaxOccupancy, int64(len(c.queue)))
 	c.schedule()
@@ -233,14 +245,18 @@ func (c *Controller) eccCheck(inj *fault.Injector, r *Request) int64 {
 		}
 		c.st.Inc(stats.ECCRetries)
 		inj.RecordRetry()
+		if c.tel != nil {
+			c.tel.Retry(c.dev.Config().Geom.BankID(r.Coord))
+		}
 		penalty += retryPs
 	}
 }
 
 // issue runs one request through the device and the channel data bus.
 func (c *Controller) issue(r *Request) {
+	now := c.eng.Now()
 	bank := c.dev.Config().Geom.BankID(r.Coord)
-	res := c.dev.Access(c.eng.Now(), r.Coord, r.Orient, r.Write)
+	res := c.dev.Access(now, r.Coord, r.Orient, r.Write)
 	if inj := c.dev.Faults(); inj != nil && res.CellRead && !r.Write && !r.Writeback {
 		if penalty := c.eccCheck(inj, r); penalty > 0 {
 			res.DataAt += penalty
@@ -254,6 +270,30 @@ func (c *Controller) issue(r *Request) {
 	}
 	finish := transferStart + c.dev.Config().Timing.BurstPs()
 	c.busFreeAt = finish
+
+	if c.tel != nil {
+		c.tel.Dequeue(bank)
+		c.tel.Request(bank, r.Write, r.Writeback)
+		c.tel.Bus(bank, finish-transferStart)
+		c.tel.MaybeSample(now)
+	}
+	if c.rec != nil {
+		tid := int64(bank)
+		if now > r.arrive {
+			c.rec.Sim(c.proc, "queue", obs.CatMem, tid, r.arrive, now-r.arrive)
+		}
+		phase := "activate"
+		if res.BufferHit {
+			phase = "hit"
+		}
+		var args map[string]int64
+		if r.Orient == addr.Column {
+			args = map[string]int64{"column": 1}
+		}
+		c.rec.Add(obs.Span{Proc: c.proc, Name: phase, Cat: obs.CatMem, TID: tid,
+			Start: now, Dur: res.DataAt - now, Sim: true, Args: args})
+		c.rec.Sim(c.proc, "burst", obs.CatMem, tid, transferStart, finish-transferStart)
+	}
 
 	switch {
 	case r.Gather:
@@ -315,6 +355,28 @@ func (r *Router) SetPolicy(p Policy) {
 		c.SetPolicy(p)
 	}
 }
+
+// SetRecorder installs a span recorder on every channel. Each issued
+// request records its queue, activate-or-hit, and burst phases as sim-time
+// spans under process name proc with the bank index as the lane. nil
+// disables recording (the default).
+func (r *Router) SetRecorder(rec *obs.Recorder, proc string) {
+	for _, c := range r.ctrls {
+		c.rec, c.proc = rec, proc
+	}
+}
+
+// SetTelemetry installs per-bank telemetry on the device and on every
+// channel controller. nil disables it (the default).
+func (r *Router) SetTelemetry(t *obs.Telemetry) {
+	r.dev.SetTelemetry(t)
+	for _, c := range r.ctrls {
+		c.tel = t
+	}
+}
+
+// Telemetry returns the installed per-bank telemetry (nil when disabled).
+func (r *Router) Telemetry() *obs.Telemetry { return r.dev.Telemetry() }
 
 // Submit routes the request to its channel's controller.
 func (r *Router) Submit(req *Request) {

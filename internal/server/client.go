@@ -75,6 +75,13 @@ func (c *Client) QueryTimed(q string) (*Response, error) {
 	return c.do(Request{Query: q, Timing: true})
 }
 
+// QueryTraced executes one statement with span tracing: the response
+// carries a Chrome trace-event JSON document (Perfetto-loadable). With
+// timing the trace also covers the replay's per-memory-request phases.
+func (c *Client) QueryTraced(q string, timing bool) (*Response, error) {
+	return c.do(Request{Query: q, Timing: timing, Trace: true})
+}
+
 func (c *Client) do(req Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -21,6 +21,7 @@ const (
 	MemoryErrors   = "server.memory_errors"   // statements failed by uncorrectable memory errors
 	Panics         = "server.panics"          // executor panics recovered into internal_error
 	Timeouts       = "server.timeouts"        // statements past their deadline
+	TracedQueries  = "server.traced_queries"  // statements sampled for span tracing
 )
 
 // Fault-layer counter names merged into /stats when injection is enabled.

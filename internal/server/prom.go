@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http"
+
+	"rcnvm/internal/obs"
+)
+
+// serverCounterNames is every server.* counter, so /metrics renders each
+// series from the first scrape (a counter that has not fired yet reads 0)
+// and dashboards never see series appear mid-run.
+var serverCounterNames = []string{
+	Queries, QueryErrors, TimedQueries, TracedQueries, Rejected,
+	RejectedDrain, RowsReturned, SessionsOpened, SessionsActive,
+	BadRequests, MemoryErrors, Panics, Timeouts,
+}
+
+// faultCounterNames is every fault.* counter; /metrics always renders them
+// (zero when fault injection is off) for the same reason.
+var faultCounterNames = []string{
+	FaultTransientBits, FaultStuckBits, FaultCorrected,
+	FaultUncorrectable, FaultMiscorrected, FaultWrites,
+}
+
+// promGauges marks the counter names that are levels, not monotonic
+// counts, so the exposition types them gauge without a _total suffix.
+var promGauges = map[string]bool{SessionsActive: true}
+
+// handleMetrics renders GET /metrics in the Prometheus text format:
+// every server and fault counter, the statement-latency histogram with
+// headline quantiles, worker-pool occupancy gauges, and the per-bank
+// telemetry series aggregated across timed queries' RC-NVM replays.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+
+	counters := s.met.Set.Snapshot()
+	for _, name := range serverCounterNames {
+		if _, ok := counters[name]; !ok {
+			counters[name] = 0
+		}
+	}
+	for _, name := range faultCounterNames {
+		if _, ok := counters[name]; !ok {
+			counters[name] = 0
+		}
+	}
+	if inj := s.db.Faults(); inj != nil {
+		c := inj.Counts()
+		counters[FaultTransientBits] = c.TransientBits
+		counters[FaultStuckBits] = c.StuckBits
+		counters[FaultCorrected] = c.Corrected
+		counters[FaultUncorrectable] = c.Uncorrectable
+		counters[FaultMiscorrected] = c.Miscorrected
+		counters[FaultWrites] = c.Writes
+	}
+	obs.WriteCounters(w, "rcnvm", counters, promGauges)
+
+	obs.WriteHistogram(w, "rcnvm_server_query_latency_seconds", s.met.Latency, 1e-9)
+
+	obs.WriteGauge(w, "rcnvm_server_pool_workers", float64(s.pool.Workers()))
+	obs.WriteGauge(w, "rcnvm_server_pool_depth", float64(s.pool.Depth()))
+	obs.WriteGauge(w, "rcnvm_server_pool_capacity", float64(s.pool.Capacity()))
+
+	s.tel.WriteProm(w, "rcnvm_bank")
+}
+
+// handleBanks renders GET /stats/banks: the per-bank telemetry snapshot
+// (cumulative counters, hit rates, and the ring-buffer time series) as
+// JSON.
+func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.tel.Snapshot())
+}

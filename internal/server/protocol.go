@@ -19,7 +19,10 @@
 // dual-vs-row attribution of the paper's evaluation, served online.
 package server
 
-import "errors"
+import (
+	"encoding/json"
+	"errors"
+)
 
 // Wire error codes carried in Response.Error.Code.
 const (
@@ -68,6 +71,11 @@ type Request struct {
 	// (Options.QueryTimeout). The effective deadline is the smaller of the
 	// two.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Trace asks for a span trace of this statement: the response carries
+	// a Chrome trace-event JSON document (Perfetto-loadable) covering the
+	// parse/lock/exec phases and, with Timing, the per-memory-request
+	// phases of the replay.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Timing is the simulated memory time of one statement, as issued and
@@ -105,7 +113,10 @@ type Response struct {
 	Affected int        `json:"affected,omitempty"`
 	Message  string     `json:"message,omitempty"`
 	Timing   *Timing    `json:"timing,omitempty"`
-	Error    *WireError `json:"error,omitempty"`
+	// TraceEvents is the Chrome trace-event JSON document for requests
+	// that set Trace (save it to a file and open in Perfetto).
+	TraceEvents json.RawMessage `json:"trace_events,omitempty"`
+	Error       *WireError      `json:"error,omitempty"`
 }
 
 // Err returns the response's error (nil on success), mapping the

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -16,6 +18,7 @@ import (
 	"rcnvm/internal/config"
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
+	"rcnvm/internal/obs"
 	"rcnvm/internal/sim"
 	"rcnvm/internal/sql"
 	"rcnvm/internal/trace"
@@ -39,6 +42,17 @@ type Options struct {
 	// its worker (the engine cannot abandon a scan mid-flight) — the
 	// shutdown drain still covers it.
 	QueryTimeout time.Duration
+	// TraceEvery server-side samples every Nth statement for span tracing
+	// in addition to explicit Trace requests (0 = explicit requests only).
+	// Sampled traces go to TraceSink; only explicit requests get the trace
+	// back on their response.
+	TraceEvery int
+	// TraceSink, when non-nil, receives every recorded trace as NDJSON
+	// Chrome trace events, one event per line. Writes are serialized.
+	TraceSink io.Writer
+	// Logger, when non-nil, receives structured server logs (one line per
+	// session close with duration, statement and error counts).
+	Logger *slog.Logger
 
 	// execDelay stretches every statement; tests use it to make
 	// drain/overload windows deterministic.
@@ -64,6 +78,12 @@ type Server struct {
 	inflight  sync.WaitGroup // admitted, not-yet-answered queries
 	accepting sync.WaitGroup // accept loops
 	sessionID atomic.Uint64
+
+	// tel aggregates per-bank telemetry across every timed query's RC-NVM
+	// replay; /metrics and /stats/banks render it.
+	tel      *obs.Telemetry
+	traceSeq atomic.Uint64 // statements considered for TraceEvery sampling
+	traceMu  sync.Mutex    // serializes TraceSink writes
 }
 
 // New creates a server over db.
@@ -80,8 +100,14 @@ func New(db *engine.DB, opts Options) *Server {
 		met:   NewMetrics(),
 		opts:  opts,
 		conns: make(map[net.Conn]struct{}),
+		tel: obs.NewTelemetry(config.RCNVM().Device.Geom.TotalBanks(),
+			obs.DefaultSampleIntervalPs),
 	}
 }
+
+// Telemetry returns the per-bank telemetry aggregated across timed
+// queries' RC-NVM replays.
+func (s *Server) Telemetry() *obs.Telemetry { return s.tel }
 
 // Metrics exposes the server's counters and latency histogram.
 func (s *Server) Metrics() *Metrics { return s.met }
@@ -129,7 +155,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // and responses come back in order; concurrency comes from concurrent
 // sessions sharing the worker pool.
 func (s *Server) serveConn(c net.Conn) {
-	s.sessionID.Add(1)
+	id := s.sessionID.Add(1)
+	opened := time.Now()
+	var statements, errCount int64
 	s.met.Set.Inc(SessionsOpened)
 	s.met.Set.Add(SessionsActive, 1)
 	defer func() {
@@ -143,6 +171,14 @@ func (s *Server) serveConn(c net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
+		if s.opts.Logger != nil {
+			s.opts.Logger.Info("session closed",
+				"session", id,
+				"remote", c.RemoteAddr().String(),
+				"duration", time.Since(opened),
+				"statements", statements,
+				"errors", errCount)
+		}
 	}()
 
 	sc := bufio.NewScanner(c)
@@ -156,6 +192,7 @@ func (s *Server) serveConn(c net.Conn) {
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
 			s.met.Set.Inc(BadRequests)
+			errCount++
 			if enc.Encode(errResponse(0, CodeBadRequest, err.Error())) != nil {
 				return
 			}
@@ -164,6 +201,10 @@ func (s *Server) serveConn(c net.Conn) {
 		// Hold the in-flight count across the encode so Shutdown's
 		// drain covers response delivery, not just execution.
 		resp, release := s.doHeld(&req)
+		statements++
+		if resp.Error != nil {
+			errCount++
+		}
 		err := enc.Encode(resp)
 		if release != nil {
 			release()
@@ -176,7 +217,8 @@ func (s *Server) serveConn(c net.Conn) {
 
 // ListenHTTP starts the HTTP front end on addr and returns the bound
 // address. Routes: POST /query (Request JSON in, Response JSON out),
-// GET /stats (StatsSnapshot), GET /healthz.
+// GET /stats (StatsSnapshot), GET /stats/banks (per-bank telemetry),
+// GET /metrics (Prometheus text format), GET /healthz.
 func (s *Server) ListenHTTP(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -185,6 +227,8 @@ func (s *Server) ListenHTTP(addr string) (net.Addr, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/stats/banks", s.handleBanks)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -374,6 +418,13 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	if s.opts.panicOn != "" && req.Query == s.opts.panicOn {
 		panic("injected test panic")
 	}
+	// rec stays nil unless this statement is traced (explicitly or by
+	// TraceEvery sampling): the untraced path records nothing.
+	var rec *obs.Recorder
+	if s.shouldTrace(req) {
+		rec = obs.NewRecorder()
+		s.met.Set.Inc(TracedQueries)
+	}
 	var (
 		res    *sql.Result
 		stream trace.Stream
@@ -381,9 +432,9 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	)
 	if req.Timing {
 		s.met.Set.Inc(TimedQueries)
-		res, stream, err = sql.ExecTraced(s.db, req.Query)
+		res, stream, err = sql.ExecTracedObserved(s.db, req.Query, rec, int64(req.ID))
 	} else {
-		res, err = sql.ExecLocked(s.db, req.Query)
+		res, err = sql.ExecObserved(s.db, req.Query, rec, int64(req.ID))
 	}
 	if err != nil {
 		return s.execError(req.ID, start, err)
@@ -399,12 +450,47 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	if req.Timing {
 		// Replay outside any lock: the replay only reads the recorded
 		// stream, never the database.
-		if resp.Timing, err = replayTiming(stream); err != nil {
+		if resp.Timing, err = s.replayTiming(stream, rec, int64(req.ID)); err != nil {
 			return s.execError(req.ID, start, err)
 		}
 	}
+	if rec != nil {
+		s.emitTrace(req, resp, rec)
+	}
 	s.met.observe(time.Since(start), len(resp.Rows), false)
 	return resp
+}
+
+// shouldTrace decides whether one statement records spans: explicitly via
+// the request's Trace flag, or server-side every TraceEvery-th statement.
+func (s *Server) shouldTrace(req *Request) bool {
+	if req.Trace {
+		return true
+	}
+	if n := s.opts.TraceEvery; n > 0 {
+		return s.traceSeq.Add(1)%uint64(n) == 0
+	}
+	return false
+}
+
+// emitTrace delivers a recorded trace: onto the response as a Chrome
+// trace-event document when the client asked, and to the server's NDJSON
+// sink when one is configured.
+func (s *Server) emitTrace(req *Request, resp *Response, rec *obs.Recorder) {
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	if req.Trace {
+		if raw, err := obs.ChromeTraceJSON(spans); err == nil {
+			resp.TraceEvents = raw
+		}
+	}
+	if s.opts.TraceSink != nil {
+		s.traceMu.Lock()
+		obs.WriteNDJSON(s.opts.TraceSink, spans)
+		s.traceMu.Unlock()
+	}
 }
 
 // execError maps a statement failure to its wire code: uncorrectable
@@ -421,20 +507,43 @@ func (s *Server) execError(id uint64, start time.Time, err error) *Response {
 }
 
 // replayTiming runs the statement's access trace on the RC-NVM timing
-// simulator as issued and downgraded to row-only accesses.
-func replayTiming(stream trace.Stream) (*Timing, error) {
+// simulator as issued and downgraded to row-only accesses. The dual replay
+// feeds the server's per-bank telemetry aggregate; when rec is non-nil
+// both replays also record per-memory-request spans (dual and row-only on
+// separate trace processes) plus a wall-clock span per replay.
+func (s *Server) replayTiming(stream trace.Stream, rec *obs.Recorder, tid int64) (*Timing, error) {
 	t := &Timing{MemOps: stream.MemOps()}
 	if t.MemOps == 0 {
 		return t, nil
 	}
-	dual, err := sim.RunOn(config.RCNVM(), []trace.Stream{stream})
+	dualStart := time.Now()
+	cfg := config.RCNVM()
+	run := obs.NewTelemetry(cfg.Device.Geom.TotalBanks(), obs.DefaultSampleIntervalPs)
+	cfg.Telemetry = run
+	dualSys, err := sim.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("server: trace replay: %w", err)
 	}
-	row, err := sim.RunOn(config.RCNVM(), []trace.Stream{engine.RowOnlyStream(stream)})
+	dualSys.Observe(rec, obs.ProcSimDual)
+	dual, err := dualSys.Run([]trace.Stream{stream})
+	if err != nil {
+		return nil, fmt.Errorf("server: trace replay: %w", err)
+	}
+	s.tel.Merge(run)
+	rec.WallSince(obs.ProcQuery, "replay_dual", obs.CatServer, tid, dualStart)
+
+	rowStart := time.Now()
+	rowSys, err := sim.New(config.RCNVM())
 	if err != nil {
 		return nil, fmt.Errorf("server: row-only replay: %w", err)
 	}
+	rowSys.Observe(rec, obs.ProcSimRow)
+	row, err := rowSys.Run([]trace.Stream{engine.RowOnlyStream(stream)})
+	if err != nil {
+		return nil, fmt.Errorf("server: row-only replay: %w", err)
+	}
+	rec.WallSince(obs.ProcQuery, "replay_row", obs.CatServer, tid, rowStart)
+
 	t.DualPs = dual.TimePs
 	t.RowPs = row.TimePs
 	if t.DualPs > 0 {

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rcnvm/internal/config"
+	"rcnvm/internal/obs"
+	"rcnvm/internal/stats"
+	"rcnvm/internal/trace"
+)
+
+// TestObservedRunIsDeterministic is the zero-overhead contract at the
+// simulator level: attaching a recorder and per-bank telemetry must not
+// change the run's timing or counters in any way.
+func TestObservedRunIsDeterministic(t *testing.T) {
+	streams := func(cfg config.System) []trace.Stream {
+		return []trace.Stream{
+			linearScan(cfg.Device.Geom, 512),
+			columnScan(cfg.Device.Geom, 512),
+		}
+	}
+
+	plainCfg := config.RCNVM()
+	plain := mustRun(t, plainCfg, streams(plainCfg))
+
+	obsCfg := config.RCNVM()
+	tel := obs.NewTelemetry(obsCfg.Device.Geom.TotalBanks(), 0)
+	obsCfg.Telemetry = tel
+	sys, err := New(obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	sys.Observe(rec, obs.ProcSimDual)
+	observed, err := sys.Run(streams(obsCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.TimePs != observed.TimePs {
+		t.Fatalf("TimePs drifted: plain %d, observed %d", plain.TimePs, observed.TimePs)
+	}
+	if !reflect.DeepEqual(plain.Counters, observed.Counters) {
+		t.Fatalf("counters drifted:\nplain:    %v\nobserved: %v", plain.Counters, observed.Counters)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder captured no spans")
+	}
+	for _, s := range rec.Spans() {
+		if !s.Sim || s.Proc != obs.ProcSimDual || s.Cat != obs.CatMem {
+			t.Fatalf("unexpected span %+v", s)
+		}
+		if s.Dur < 0 || s.Start < 0 {
+			t.Fatalf("negative span %+v", s)
+		}
+	}
+}
+
+// TestTelemetryMatchesStats cross-checks the per-bank telemetry against the
+// device's aggregate counters: summed over banks they must agree.
+func TestTelemetryMatchesStats(t *testing.T) {
+	cfg := config.RCNVM()
+	tel := obs.NewTelemetry(cfg.Device.Geom.TotalBanks(), 0)
+	cfg.Telemetry = tel
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run([]trace.Stream{
+		linearScan(cfg.Device.Geom, 512),
+		columnScan(cfg.Device.Geom, 512),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := tel.Snapshot()
+	var hits, misses, reads, writebacks int64
+	for _, b := range snap.Banks {
+		hits += b.RowHits + b.ColHits
+		misses += b.RowMisses + b.ColMisses
+		reads += b.Reads
+		writebacks += b.Writebacks
+	}
+	if hits != res.Counters[stats.BufferHits] {
+		t.Errorf("telemetry hits %d != stats %d", hits, res.Counters[stats.BufferHits])
+	}
+	if misses != res.Counters[stats.BufferMisses] {
+		t.Errorf("telemetry misses %d != stats %d", misses, res.Counters[stats.BufferMisses])
+	}
+	if reads != res.Counters[stats.MemReads] {
+		t.Errorf("telemetry reads %d != stats %d", reads, res.Counters[stats.MemReads])
+	}
+	if writebacks != res.Counters[stats.MemWritebacks] {
+		t.Errorf("telemetry writebacks %d != stats %d", writebacks, res.Counters[stats.MemWritebacks])
+	}
+	if snap.Banks[0].ColHits+snap.Banks[0].ColMisses == 0 {
+		t.Error("column scan recorded no column accesses on bank 0")
+	}
+}

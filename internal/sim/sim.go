@@ -15,6 +15,7 @@ import (
 	"rcnvm/internal/event"
 	"rcnvm/internal/fault"
 	"rcnvm/internal/memctrl"
+	"rcnvm/internal/obs"
 	"rcnvm/internal/stats"
 	"rcnvm/internal/trace"
 )
@@ -45,6 +46,9 @@ func New(cfg config.System) (*System, error) {
 	dev.SetFaults(inj) // nil when disabled: the fault-free fast path
 	router := memctrl.NewRouter(eng, dev, st, cfg.MemWindow)
 	router.SetPolicy(cfg.MemPolicy)
+	if cfg.Telemetry != nil {
+		router.SetTelemetry(cfg.Telemetry)
+	}
 	dual := cfg.Device.SupportsColumn()
 	hier := cache.New(cfg.Cache, cfg.Device.Geom, dual, eng, st, func(r *cache.MemRequest) {
 		// r is the hierarchy's scratch request; copy into a pooled
@@ -83,6 +87,17 @@ type Result struct {
 	// MemLatency is the distribution of demand memory-op latencies
 	// (issue to completion, picoseconds).
 	MemLatency *stats.Histogram `json:"mem_latency,omitempty"`
+}
+
+// Observe attaches a span recorder to the system's memory controllers:
+// each memory request records its queue, activate-or-hit, and burst phases
+// as sim-time spans under process name proc. Call before Run; a nil
+// recorder is a no-op.
+func (s *System) Observe(rec *obs.Recorder, proc string) {
+	if rec == nil {
+		return
+	}
+	s.Router.SetRecorder(rec, proc)
 }
 
 // Run executes the per-core streams to completion. A System can run only

@@ -2,8 +2,10 @@ package sql
 
 import (
 	"fmt"
+	"time"
 
 	"rcnvm/internal/engine"
+	"rcnvm/internal/obs"
 	"rcnvm/internal/trace"
 )
 
@@ -46,6 +48,64 @@ func ExecLocked(db *engine.DB, src string) (*Result, error) {
 		defer db.Unlock()
 	}
 	return Run(db, st)
+}
+
+// ExecObserved is ExecLocked with wall-clock phase spans (parse,
+// lock_wait, exec) recorded under process obs.ProcQuery on lane tid. A nil
+// recorder degrades to plain ExecLocked.
+func ExecObserved(db *engine.DB, src string, rec *obs.Recorder, tid int64) (*Result, error) {
+	if rec == nil {
+		return ExecLocked(db, src)
+	}
+	t0 := time.Now()
+	st, err := Parse(src)
+	rec.WallSince(obs.ProcQuery, "parse", obs.CatSQL, tid, t0)
+	if err != nil {
+		return nil, err
+	}
+	tLock := time.Now()
+	if ReadOnly(st) {
+		db.RLock()
+		defer db.RUnlock()
+	} else {
+		db.Lock()
+		defer db.Unlock()
+	}
+	rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
+	tExec := time.Now()
+	res, err := Run(db, st)
+	rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
+	return res, err
+}
+
+// ExecTracedObserved is ExecTraced with the same wall-clock phase spans as
+// ExecObserved. A nil recorder degrades to plain ExecTraced.
+func ExecTracedObserved(db *engine.DB, src string, rec *obs.Recorder, tid int64) (*Result, trace.Stream, error) {
+	if rec == nil {
+		return ExecTraced(db, src)
+	}
+	t0 := time.Now()
+	st, err := Parse(src)
+	rec.WallSince(obs.ProcQuery, "parse", obs.CatSQL, tid, t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := st.(*Explain); ok {
+		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
+	}
+	tLock := time.Now()
+	db.Lock()
+	defer db.Unlock()
+	rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
+	tExec := time.Now()
+	db.StartTrace()
+	res, err := Run(db, st)
+	stream := db.StopTrace()
+	rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, stream, nil
 }
 
 // ExecTraced parses and executes one statement under the exclusive lock

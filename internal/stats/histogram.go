@@ -120,6 +120,44 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Cumulative returns the distribution as Prometheus-style cumulative
+// buckets: bounds[i] is the inclusive upper bound of bucket i (2^(i+1)-1)
+// and counts[i] the number of samples <= bounds[i]. Buckets above the
+// highest non-empty one are omitted (the +Inf bucket is Count()).
+func (h *Histogram) Cumulative() (bounds, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	top := -1
+	for i, n := range h.buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return nil, nil
+	}
+	bounds = make([]int64, top+1)
+	counts = make([]int64, top+1)
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += h.buckets[i]
+		if i == 63 {
+			bounds[i] = math.MaxInt64
+		} else {
+			bounds[i] = int64(1)<<uint(i+1) - 1
+		}
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
 // Buckets returns the non-empty buckets as (lowerBound, count) pairs in
 // ascending order.
 func (h *Histogram) Buckets() [][2]int64 {

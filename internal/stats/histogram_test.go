@@ -96,6 +96,56 @@ func TestBuckets(t *testing.T) {
 	}
 }
 
+func TestSum(t *testing.T) {
+	h := NewHistogram()
+	if h.Sum() != 0 {
+		t.Fatal("empty sum")
+	}
+	for _, v := range []int64{10, 20, 30} {
+		h.Observe(v)
+	}
+	if h.Sum() != 60 {
+		t.Fatalf("sum = %d, want 60", h.Sum())
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	h := NewHistogram()
+	if bounds, counts := h.Cumulative(); bounds != nil || counts != nil {
+		t.Fatal("empty histogram must return nil cumulative buckets")
+	}
+	h.Observe(1) // bucket [1,2), bound 1
+	h.Observe(3) // bucket [2,4), bound 3
+	h.Observe(3)
+	h.Observe(100) // bucket [64,128), bound 127
+	bounds, counts := h.Cumulative()
+	if len(bounds) != len(counts) {
+		t.Fatalf("bounds/counts length mismatch: %d/%d", len(bounds), len(counts))
+	}
+	// Up to and including the highest non-empty bucket ([64,128) = index 6).
+	if len(bounds) != 7 {
+		t.Fatalf("buckets = %d, want 7", len(bounds))
+	}
+	if bounds[0] != 1 || counts[0] != 1 {
+		t.Fatalf("bucket 0 = (%d, %d), want (1, 1)", bounds[0], counts[0])
+	}
+	if bounds[1] != 3 || counts[1] != 3 {
+		t.Fatalf("bucket 1 = (%d, %d), want (3, 3)", bounds[1], counts[1])
+	}
+	if bounds[6] != 127 || counts[6] != 4 {
+		t.Fatalf("top bucket = (%d, %d), want (127, 4)", bounds[6], counts[6])
+	}
+	// Counts are cumulative and non-decreasing; bounds strictly increase.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] || bounds[i] <= bounds[i-1] {
+			t.Fatalf("not cumulative at %d: %v %v", i, bounds, counts)
+		}
+	}
+	if counts[len(counts)-1] != h.Count() {
+		t.Fatal("last cumulative count must equal Count()")
+	}
+}
+
 func TestHistogramConcurrent(t *testing.T) {
 	h := NewHistogram()
 	var wg sync.WaitGroup

@@ -102,6 +102,44 @@ func TestConcurrentAdd(t *testing.T) {
 	}
 }
 
+// TestSnapshotConcurrent takes snapshots while writers are adding: every
+// snapshot must be internally consistent (a single locked copy, never a
+// torn read) and monotonic for a counter only ever incremented.
+func TestSnapshotConcurrent(t *testing.T) {
+	s := NewSet()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Inc("a")
+					s.Inc("b")
+				}
+			}
+		}()
+	}
+	var lastA int64
+	for i := 0; i < 200; i++ {
+		snap := s.Snapshot()
+		if snap["a"] < lastA {
+			t.Fatalf("snapshot went backwards: %d < %d", snap["a"], lastA)
+		}
+		lastA = snap["a"]
+	}
+	close(stop)
+	wg.Wait()
+	final := s.Snapshot()
+	if final["a"] != s.Get("a") || final["b"] != s.Get("b") {
+		t.Fatal("final snapshot disagrees with Get")
+	}
+}
+
 func TestString(t *testing.T) {
 	s := NewSet()
 	s.Add("b", 2)
