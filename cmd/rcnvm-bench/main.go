@@ -23,17 +23,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"rcnvm/internal/experiments"
 )
 
+// parseShardCounts parses the -shards flag ("1,2,4") into cluster sizes.
+func parseShardCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards: bad cluster size %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "full", "workload scale: small|medium|full")
 	formatFlag := flag.String("format", "text", "output format: text|csv|md")
-	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp,rel) or 'all' (rel stays opt-in)")
+	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp,rel,shard) or 'all' (rel and shard stay opt-in)")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
+	shardsFlag := flag.String("shards", "1,2,4", "cluster sizes for the shard-scaling sweep (-run shard); first is the determinism baseline")
 	timingFlag := flag.Bool("timing", true, "print per-experiment wall-clock timing to stderr")
 	telemetryFlag := flag.Bool("telemetry", false, "append a per-bank telemetry report for the mixed workload on RC-NVM")
 	flag.Parse()
@@ -166,6 +181,18 @@ func main() {
 	})
 	step("rel", func() error {
 		tab, err := experiments.ReliabilitySweep(scale, workers)
+		if err != nil {
+			return err
+		}
+		render(tab)
+		return nil
+	})
+	step("shard", func() error {
+		counts, err := parseShardCounts(*shardsFlag)
+		if err != nil {
+			return err
+		}
+		tab, err := experiments.ShardScaling(counts, workers)
 		if err != nil {
 			return err
 		}

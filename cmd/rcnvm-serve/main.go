@@ -56,6 +56,7 @@ import (
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
 	"rcnvm/internal/server"
+	"rcnvm/internal/shard"
 	"rcnvm/internal/sql"
 )
 
@@ -66,6 +67,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent statements (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "admission queue capacity (0 = 4x workers)")
 		rowOnly  = flag.Bool("rowonly", false, "serve a conventional row-only engine instead of RC-NVM")
+		shards   = flag.Int("shards", 1, "independent engine+memory channels; queries scatter-gather across them")
 		loadgen  = flag.Int("loadgen", 0, "run the load generator with N clients against an in-process server, then exit")
 		duration = flag.Duration("duration", 3*time.Second, "load-generator run length")
 		timedEv  = flag.Int("timing-every", 0, "load generator: request timing attribution every n-th query (0 = never)")
@@ -85,16 +87,21 @@ func main() {
 	if *rowOnly {
 		mode = engine.RowOnly
 	}
-	db, err := engine.Open(mode)
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
+	cluster, err := shard.Open(mode, *shards, 0)
 	if err != nil {
 		fatal(err)
 	}
-	// The demo/load table every front end can query immediately.
-	if _, err := sql.Exec(db, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
+	// The demo/load table every front end can query immediately. Created
+	// through the scatter executor so a multi-shard cluster registers it
+	// for hash routing; on one shard this is the plain engine path.
+	if _, err := sql.ExecSharded(cluster, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
 		fatal(err)
 	}
 	if *faultRBER > 0 || (*wearThresh > 0 && *wearRate > 0) {
-		db.EnableFaults(fault.Config{
+		cluster.EnableFaults(fault.Config{
 			Enabled:             true,
 			Seed:                *faultSeed,
 			RBER:                *faultRBER,
@@ -103,6 +110,9 @@ func main() {
 		})
 		fmt.Printf("rcnvm-serve: fault injection on (seed=%d rber=%g wear=%d@%g); uncorrectable reads surface as memory_error\n",
 			*faultSeed, *faultRBER, *wearThresh, *wearRate)
+	}
+	if *shards > 1 {
+		fmt.Printf("rcnvm-serve: %d shards (scatter-gather; /stats/banks?shard=i and rcnvm_shard_bank_* give per-shard series)\n", *shards)
 	}
 
 	var traceSink io.Writer
@@ -119,7 +129,7 @@ func main() {
 		traceSink = f
 	}
 
-	srv := server.New(db, server.Options{
+	srv := server.NewCluster(cluster, server.Options{
 		Workers:      *workers,
 		Queue:        *queue,
 		QueryTimeout: *queryTimeout,

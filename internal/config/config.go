@@ -33,6 +33,12 @@ type System struct {
 	// systems built from this config. nil (the default) disables it; the
 	// run's timing and counters are identical either way.
 	Telemetry *obs.Telemetry
+	// Shards is the number of independent engine+memory channels the
+	// database layers on top of this system (hash-partitioned scatter-
+	// gather; see internal/shard). 0 or 1 means a single unsharded
+	// database. The timing model of one channel is unaffected — sharding
+	// multiplies channels, it does not change any device parameter.
+	Shards int
 }
 
 func base(dev device.Config) System {

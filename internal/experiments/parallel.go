@@ -2,26 +2,20 @@ package experiments
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"rcnvm/internal/par"
 )
 
 // The simulation sweeps are embarrassingly parallel: every (configuration x
 // query) cell builds a fresh sim.System with its own event engine, caches
-// and stats, so cells share no mutable state. The runner here fans cells
-// out over a bounded worker set while keeping results slotted by cell
-// index — never by completion order — so a parallel sweep renders
-// byte-identically to a sequential one.
+// and stats, so cells share no mutable state. The runner lives in
+// internal/par (it is also the fan-out engine for the sharded SQL
+// executor); the wrappers below keep this package's historical API so
+// sweep call sites and external tooling stay unchanged.
 
 // Workers resolves a worker-count flag value: n <= 0 means one worker per
 // available CPU (runtime.GOMAXPROCS(0)).
-func Workers(n int) int {
-	if n <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return n
-}
+func Workers(n int) int { return par.Workers(n) }
 
 // RunCells executes cells 0..n-1, each exactly once, on up to workers
 // goroutines (workers <= 0 selects Workers(0); workers == 1 runs inline
@@ -29,77 +23,12 @@ func Workers(n int) int {
 // observed failure is returned and the remaining cells are cancelled.
 // Cancelling ctx stops the sweep between cells and returns ctx's error.
 func RunCells(ctx context.Context, workers, n int, run func(i int) error) error {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := run(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		failIdx = n
-		failErr error
-		wg      sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := run(i); err != nil {
-					mu.Lock()
-					if i < failIdx {
-						failIdx, failErr = i, err
-					}
-					mu.Unlock()
-					cancel()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if failErr != nil {
-		return failErr
-	}
-	return ctx.Err()
+	return par.RunCells(ctx, workers, n, run)
 }
 
 // Sweep runs fn over n independent cells with RunCells and returns the
 // results slotted by cell index, so callers assemble tables in a fixed
 // order regardless of which worker finished which cell first.
 func Sweep[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := RunCells(ctx, workers, n, func(i int) error {
-		v, err := fn(i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return par.Sweep[T](ctx, workers, n, fn)
 }

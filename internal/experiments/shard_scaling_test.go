@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestShardScaling runs the sweep end to end: the built-in determinism
+// check must pass (byte-identical transcripts across cluster sizes) and
+// the suite's simulated time must improve monotonically from 1 to 4
+// shards — analytical scans split across channels, so adding shards can
+// only shorten the slowest shard's replay.
+func TestShardScaling(t *testing.T) {
+	counts := []int{1, 2, 3, 4}
+	tab, err := ShardScaling(counts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 3 || len(tab.Series[0].Values) != len(counts) {
+		t.Fatalf("unexpected table shape: %d series", len(tab.Series))
+	}
+	times := tab.Series[0].Values
+	for i := 1; i < len(times); i++ {
+		if times[i] >= times[i-1] {
+			t.Errorf("sim time not monotonic: %d shards = %.1f us, %d shards = %.1f us",
+				counts[i-1], times[i-1], counts[i], times[i])
+		}
+	}
+	// Throughput is the same data inverted; speedup must start at 1.
+	if tab.Series[2].Values[0] != 1.0 {
+		t.Errorf("baseline speedup = %v, want 1", tab.Series[2].Values[0])
+	}
+}
+
+// TestShardScalingDeterministic: two runs of the same sweep produce the
+// same numbers (sim time is simulated, not wall clock), regardless of the
+// fan-out width.
+func TestShardScalingDeterministic(t *testing.T) {
+	a, err := ShardScaling([]int{1, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShardScaling([]int{1, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Values {
+			if a.Series[i].Values[j] != b.Series[i].Values[j] {
+				t.Errorf("series %q value %d differs across runs: %v vs %v",
+					a.Series[i].Label, j, a.Series[i].Values[j], b.Series[i].Values[j])
+			}
+		}
+	}
+}

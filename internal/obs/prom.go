@@ -122,6 +122,24 @@ type bankFamily struct {
 	value func(BankSnapshot) string
 }
 
+// bankFamilies is the per-bank metric family catalogue shared by the
+// single- and multi-telemetry renderers.
+var bankFamilies = []bankFamily{
+	{"reads_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Reads) }},
+	{"writes_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Writes) }},
+	{"writebacks_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Writebacks) }},
+	{"row_buffer_hits_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.RowHits) }},
+	{"row_buffer_misses_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.RowMisses) }},
+	{"col_buffer_hits_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.ColHits) }},
+	{"col_buffer_misses_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.ColMisses) }},
+	{"ecc_retries_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Retries) }},
+	{"bus_busy_ps_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.BusBusyPs) }},
+	{"queue_depth", "gauge", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Queued) }},
+	{"queue_peak", "gauge", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.QueuePeak) }},
+	{"row_buffer_hit_rate", "gauge", func(b BankSnapshot) string { return formatFloat(b.RowHitRate) }},
+	{"col_buffer_hit_rate", "gauge", func(b BankSnapshot) string { return formatFloat(b.ColHitRate) }},
+}
+
 // WriteProm renders the per-bank telemetry as labeled metric families
 // (`<prefix>_row_hits_total{bank="3"}` and friends). A nil receiver
 // renders nothing.
@@ -130,22 +148,7 @@ func (t *Telemetry) WriteProm(w io.Writer, prefix string) error {
 		return nil
 	}
 	snap := t.Snapshot()
-	fams := []bankFamily{
-		{"reads_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Reads) }},
-		{"writes_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Writes) }},
-		{"writebacks_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Writebacks) }},
-		{"row_buffer_hits_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.RowHits) }},
-		{"row_buffer_misses_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.RowMisses) }},
-		{"col_buffer_hits_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.ColHits) }},
-		{"col_buffer_misses_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.ColMisses) }},
-		{"ecc_retries_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Retries) }},
-		{"bus_busy_ps_total", "counter", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.BusBusyPs) }},
-		{"queue_depth", "gauge", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.Queued) }},
-		{"queue_peak", "gauge", func(b BankSnapshot) string { return fmt.Sprintf("%d", b.QueuePeak) }},
-		{"row_buffer_hit_rate", "gauge", func(b BankSnapshot) string { return formatFloat(b.RowHitRate) }},
-		{"col_buffer_hit_rate", "gauge", func(b BankSnapshot) string { return formatFloat(b.ColHitRate) }},
-	}
-	for _, f := range fams {
+	for _, f := range bankFamilies {
 		name := prefix + "_" + f.name
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
 			return err
@@ -153,6 +156,37 @@ func (t *Telemetry) WriteProm(w io.Writer, prefix string) error {
 		for _, b := range snap.Banks {
 			if _, err := fmt.Fprintf(w, "%s{bank=\"%d\"} %s\n", name, b.Bank, f.value(b)); err != nil {
 				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePromSharded renders several telemetries (one per shard) as one set
+// of metric families with shard and bank labels — each family gets a
+// single TYPE line, so the exposition stays valid Prometheus text format.
+// Nil telemetries in the slice are skipped.
+func WritePromSharded(w io.Writer, prefix string, tels []*Telemetry) error {
+	snaps := make([]Snapshot, len(tels))
+	for i, t := range tels {
+		if t != nil {
+			snaps[i] = t.Snapshot()
+		}
+	}
+	for _, f := range bankFamilies {
+		name := prefix + "_" + f.name
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for i, t := range tels {
+			if t == nil {
+				continue
+			}
+			for _, b := range snaps[i].Banks {
+				if _, err := fmt.Fprintf(w, "%s{shard=\"%d\",bank=\"%d\"} %s\n",
+					name, i, b.Bank, f.value(b)); err != nil {
+					return err
+				}
 			}
 		}
 	}

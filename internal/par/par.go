@@ -1,0 +1,114 @@
+// Package par is the repo's bounded fan-out runner. It began life as
+// internal/experiments/parallel.go (the simulation sweeps are
+// embarrassingly parallel) and moved here so that lower layers — the
+// scatter-gather SQL executor fanning sub-plans across shards, the shard
+// sweep experiment, the CLI tools — can share it without import cycles.
+//
+// The contract that matters everywhere it is used: results are slotted by
+// cell index, never by completion order, so a parallel run produces output
+// byte-identical to a sequential one.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count flag value: n <= 0 means one worker per
+// available CPU (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// RunCells executes cells 0..n-1, each exactly once, on up to workers
+// goroutines (workers <= 0 selects Workers(0); workers == 1 runs inline
+// with no goroutines). If cells fail, the error of the lowest-indexed
+// observed failure is returned and the remaining cells are cancelled.
+// Cancelling ctx stops the sweep between cells and returns ctx's error.
+//
+// Note the determinism caveat: when cells can fail for different reasons,
+// "lowest-indexed observed failure" depends on which cells ran before the
+// cancellation propagated. Callers that need a fully deterministic error
+// (the sharded SQL executor) run every cell to completion with a
+// never-failing run function and merge the collected per-cell errors
+// themselves.
+func RunCells(ctx context.Context, workers, n int, run func(i int) error) error {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		failIdx = n
+		failErr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					mu.Lock()
+					if i < failIdx {
+						failIdx, failErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failErr != nil {
+		return failErr
+	}
+	return ctx.Err()
+}
+
+// Sweep runs fn over n independent cells with RunCells and returns the
+// results slotted by cell index, so callers assemble tables in a fixed
+// order regardless of which worker finished which cell first.
+func Sweep[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := RunCells(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -22,6 +22,7 @@ const (
 	Panics         = "server.panics"          // executor panics recovered into internal_error
 	Timeouts       = "server.timeouts"        // statements past their deadline
 	TracedQueries  = "server.traced_queries"  // statements sampled for span tracing
+	EncodeErrors   = "server.encode_errors"   // responses computed but undeliverable (encode failed)
 )
 
 // Fault-layer counter names merged into /stats when injection is enabled.

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
+	"strconv"
 
 	"rcnvm/internal/obs"
 )
@@ -12,7 +14,7 @@ import (
 var serverCounterNames = []string{
 	Queries, QueryErrors, TimedQueries, TracedQueries, Rejected,
 	RejectedDrain, RowsReturned, SessionsOpened, SessionsActive,
-	BadRequests, MemoryErrors, Panics, Timeouts,
+	BadRequests, MemoryErrors, Panics, Timeouts, EncodeErrors,
 }
 
 // faultCounterNames is every fault.* counter; /metrics always renders them
@@ -44,8 +46,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			counters[name] = 0
 		}
 	}
-	if inj := s.db.Faults(); inj != nil {
-		c := inj.Counts()
+	if c, ok := s.faultCounts(); ok {
 		counters[FaultTransientBits] = c.TransientBits
 		counters[FaultStuckBits] = c.StuckBits
 		counters[FaultCorrected] = c.Corrected
@@ -60,13 +61,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteGauge(w, "rcnvm_server_pool_workers", float64(s.pool.Workers()))
 	obs.WriteGauge(w, "rcnvm_server_pool_depth", float64(s.pool.Depth()))
 	obs.WriteGauge(w, "rcnvm_server_pool_capacity", float64(s.pool.Capacity()))
+	obs.WriteGauge(w, "rcnvm_server_shards", float64(s.cluster.N()))
 
 	s.tel.WriteProm(w, "rcnvm_bank")
+	if s.shardTels != nil {
+		// The aggregate rcnvm_bank_* series stay exactly as on a 1-shard
+		// server; the shard-labeled families add per-channel attribution.
+		obs.WritePromSharded(w, "rcnvm_shard_bank", s.shardTels)
+	}
 }
 
 // handleBanks renders GET /stats/banks: the per-bank telemetry snapshot
 // (cumulative counters, hit rates, and the ring-buffer time series) as
-// JSON.
+// JSON. The default payload aggregates across shards; ?shard=i returns one
+// shard's own series.
 func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.tel.Snapshot())
+	if q := r.URL.Query().Get("shard"); q != "" {
+		i, err := strconv.Atoi(q)
+		if err != nil || i < 0 || i >= s.cluster.N() {
+			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", s.cluster.N()), http.StatusBadRequest)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, s.ShardTelemetry(i).Snapshot())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.tel.Snapshot())
 }

@@ -83,12 +83,26 @@ type Request struct {
 type Timing struct {
 	MemOps int `json:"mem_ops"`
 	// DualPs and RowPs are simulated picoseconds on the RC-NVM timing
-	// model with column accesses as issued vs. forced row-only.
+	// model with column accesses as issued vs. forced row-only. On a
+	// sharded server they are the slowest shard's replay (shards run
+	// their sub-plans concurrently on independent channels).
 	DualPs int64 `json:"dual_ps"`
 	RowPs  int64 `json:"row_ps"`
 	// Speedup is RowPs/DualPs (1.0 when the statement issued no column
 	// accesses, 0 when it touched no memory).
 	Speedup float64 `json:"speedup"`
+	// Shards attributes the statement to the shards it touched. Present
+	// only when the server runs more than one shard, so 1-shard responses
+	// are byte-identical to the unsharded server's.
+	Shards []ShardTiming `json:"shards,omitempty"`
+}
+
+// ShardTiming is one shard's share of a statement's simulated memory time.
+type ShardTiming struct {
+	Shard  int   `json:"shard"`
+	MemOps int   `json:"mem_ops"`
+	DualPs int64 `json:"dual_ps"`
+	RowPs  int64 `json:"row_ps"`
 }
 
 // WireError is the serialized form of a failed request. It implements

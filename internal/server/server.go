@@ -19,6 +19,7 @@ import (
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
 	"rcnvm/internal/obs"
+	"rcnvm/internal/shard"
 	"rcnvm/internal/sim"
 	"rcnvm/internal/sql"
 	"rcnvm/internal/trace"
@@ -62,12 +63,14 @@ type Options struct {
 	panicOn string
 }
 
-// Server serves SQL over one shared engine.DB.
+// Server serves SQL over a shard.Cluster — one engine.DB per shard, each
+// with its own simulated memory channel. A 1-shard cluster behaves exactly
+// like the unsharded server.
 type Server struct {
-	db   *engine.DB
-	pool *Pool
-	met  *Metrics
-	opts Options
+	cluster *shard.Cluster
+	pool    *Pool
+	met     *Metrics
+	opts    Options
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -80,34 +83,61 @@ type Server struct {
 	sessionID atomic.Uint64
 
 	// tel aggregates per-bank telemetry across every timed query's RC-NVM
-	// replay; /metrics and /stats/banks render it.
-	tel      *obs.Telemetry
-	traceSeq atomic.Uint64 // statements considered for TraceEvery sampling
-	traceMu  sync.Mutex    // serializes TraceSink writes
+	// replay; /metrics and /stats/banks render it. On a multi-shard server
+	// shardTels additionally keeps one telemetry per shard so the same
+	// series exist with per-shard attribution (nil at N==1, where the
+	// aggregate IS the only shard).
+	tel       *obs.Telemetry
+	shardTels []*obs.Telemetry
+	traceSeq  atomic.Uint64 // statements considered for TraceEvery sampling
+	traceMu   sync.Mutex    // serializes TraceSink writes
 }
 
-// New creates a server over db.
+// New creates a server over a single database (a 1-shard cluster).
 func New(db *engine.DB, opts Options) *Server {
+	return NewCluster(shard.Wrap(db), opts)
+}
+
+// NewCluster creates a server over a shard cluster: statements route and
+// fan out through the scatter-gather executor, and timing replays carry
+// per-shard attribution.
+func NewCluster(c *shard.Cluster, opts Options) *Server {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Queue <= 0 {
 		opts.Queue = 4 * opts.Workers
 	}
-	return &Server{
-		db:    db,
-		pool:  NewPool(opts.Workers, opts.Queue),
-		met:   NewMetrics(),
-		opts:  opts,
-		conns: make(map[net.Conn]struct{}),
-		tel: obs.NewTelemetry(config.RCNVM().Device.Geom.TotalBanks(),
-			obs.DefaultSampleIntervalPs),
+	banks := config.RCNVM().Device.Geom.TotalBanks()
+	s := &Server{
+		cluster: c,
+		pool:    NewPool(opts.Workers, opts.Queue),
+		met:     NewMetrics(),
+		opts:    opts,
+		conns:   make(map[net.Conn]struct{}),
+		tel:     obs.NewTelemetry(banks, obs.DefaultSampleIntervalPs),
 	}
+	if c.N() > 1 {
+		s.shardTels = make([]*obs.Telemetry, c.N())
+		for i := range s.shardTels {
+			s.shardTels[i] = obs.NewTelemetry(banks, obs.DefaultSampleIntervalPs)
+		}
+	}
+	return s
 }
 
 // Telemetry returns the per-bank telemetry aggregated across timed
-// queries' RC-NVM replays.
+// queries' RC-NVM replays (summed over shards).
 func (s *Server) Telemetry() *obs.Telemetry { return s.tel }
+
+// ShardTelemetry returns shard i's replay telemetry. On a 1-shard server
+// shard 0's telemetry is the aggregate.
+func (s *Server) ShardTelemetry(i int) *obs.Telemetry {
+	if s.shardTels == nil {
+		return s.tel
+	}
+	return s.shardTels[i]
+}
 
 // Metrics exposes the server's counters and latency histogram.
 func (s *Server) Metrics() *Metrics { return s.met }
@@ -193,7 +223,8 @@ func (s *Server) serveConn(c net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			s.met.Set.Inc(BadRequests)
 			errCount++
-			if enc.Encode(errResponse(0, CodeBadRequest, err.Error())) != nil {
+			if err := enc.Encode(errResponse(0, CodeBadRequest, err.Error())); err != nil {
+				s.encodeError(id, err)
 				return
 			}
 			continue
@@ -210,6 +241,11 @@ func (s *Server) serveConn(c net.Conn) {
 			release()
 		}
 		if err != nil {
+			// The response was computed but never delivered (client hung
+			// up, or the connection broke mid-write): account for it — a
+			// silent drop here is indistinguishable from a slow query to
+			// the operator.
+			s.encodeError(id, err)
 			return
 		}
 	}
@@ -257,7 +293,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// typed internal_error payload and the metric fires.
 		if rec := recover(); rec != nil {
 			s.met.Set.Inc(Panics)
-			writeJSON(w, http.StatusInternalServerError,
+			s.writeJSON(w, http.StatusInternalServerError,
 				errResponse(req.ID, CodeInternal, fmt.Sprintf("internal error: %v", rec)))
 		}
 	}()
@@ -267,7 +303,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes)).Decode(&req); err != nil {
 		s.met.Set.Inc(BadRequests)
-		writeJSON(w, http.StatusBadRequest, errResponse(0, CodeBadRequest, err.Error()))
+		s.writeJSON(w, http.StatusBadRequest, errResponse(0, CodeBadRequest, err.Error()))
 		return
 	}
 	resp := s.Do(&req)
@@ -284,26 +320,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusBadRequest
 		}
 	}
-	writeJSON(w, status, resp)
+	s.writeJSON(w, status, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one JSON response body. Encode failures (the client
+// closed the connection mid-response, typically) are counted and logged —
+// nothing more can be sent to the peer at that point, but the drop must
+// not be silent.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeError(0, err)
+	}
+}
+
+// encodeError records one undeliverable response.
+func (s *Server) encodeError(session uint64, err error) {
+	s.met.Set.Inc(EncodeErrors)
+	if s.opts.Logger != nil {
+		s.opts.Logger.Warn("response encode failed", "session", session, "error", err)
+	}
 }
 
 // Stats returns the current /stats payload (the in-process view of the
-// endpoint). When the engine runs with fault injection, the injector's
-// accounting is merged in under the fault.* names.
+// endpoint). When the engine runs with fault injection, the injectors'
+// accounting — summed across shards — is merged in under the fault.* names.
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.met.snapshot(s.pool)
-	if inj := s.db.Faults(); inj != nil {
-		c := inj.Counts()
+	if c, ok := s.faultCounts(); ok {
 		snap.Counters[FaultTransientBits] = c.TransientBits
 		snap.Counters[FaultStuckBits] = c.StuckBits
 		snap.Counters[FaultCorrected] = c.Corrected
@@ -312,6 +361,27 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.Counters[FaultWrites] = c.Writes
 	}
 	return snap
+}
+
+// faultCounts sums the fault injectors' accounting across every shard;
+// ok is false when no shard has fault injection enabled.
+func (s *Server) faultCounts() (sum fault.Counts, ok bool) {
+	for i := 0; i < s.cluster.N(); i++ {
+		inj := s.cluster.Shard(i).Faults()
+		if inj == nil {
+			continue
+		}
+		ok = true
+		c := inj.Counts()
+		sum.TransientBits += c.TransientBits
+		sum.StuckBits += c.StuckBits
+		sum.Corrected += c.Corrected
+		sum.Uncorrectable += c.Uncorrectable
+		sum.Miscorrected += c.Miscorrected
+		sum.Retries += c.Retries
+		sum.Writes += c.Writes
+	}
+	return sum, ok
 }
 
 // Do admits one request to the worker pool and waits for its response.
@@ -426,15 +496,15 @@ func (s *Server) execute(req *Request) (resp *Response) {
 		s.met.Set.Inc(TracedQueries)
 	}
 	var (
-		res    *sql.Result
-		stream trace.Stream
-		err    error
+		res     *sql.Result
+		streams []trace.Stream
+		err     error
 	)
 	if req.Timing {
 		s.met.Set.Inc(TimedQueries)
-		res, stream, err = sql.ExecTracedObserved(s.db, req.Query, rec, int64(req.ID))
+		res, streams, err = sql.ExecShardedTracedObserved(s.cluster, req.Query, rec, int64(req.ID))
 	} else {
-		res, err = sql.ExecObserved(s.db, req.Query, rec, int64(req.ID))
+		res, err = sql.ExecShardedObserved(s.cluster, req.Query, rec, int64(req.ID))
 	}
 	if err != nil {
 		return s.execError(req.ID, start, err)
@@ -449,8 +519,8 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	}
 	if req.Timing {
 		// Replay outside any lock: the replay only reads the recorded
-		// stream, never the database.
-		if resp.Timing, err = s.replayTiming(stream, rec, int64(req.ID)); err != nil {
+		// streams, never the databases.
+		if resp.Timing, err = s.replayTiming(streams, rec, int64(req.ID)); err != nil {
 			return s.execError(req.ID, start, err)
 		}
 	}
@@ -506,46 +576,86 @@ func (s *Server) execError(id uint64, start time.Time, err error) *Response {
 	return errResponse(id, CodeSQL, err.Error())
 }
 
-// replayTiming runs the statement's access trace on the RC-NVM timing
-// simulator as issued and downgraded to row-only accesses. The dual replay
-// feeds the server's per-bank telemetry aggregate; when rec is non-nil
-// both replays also record per-memory-request spans (dual and row-only on
-// separate trace processes) plus a wall-clock span per replay.
-func (s *Server) replayTiming(stream trace.Stream, rec *obs.Recorder, tid int64) (*Timing, error) {
-	t := &Timing{MemOps: stream.MemOps()}
+// replayTiming runs the statement's per-shard access traces on the RC-NVM
+// timing simulator as issued and downgraded to row-only accesses. Each
+// shard replays on its own simulated channel: the statement's time is the
+// slowest shard's (the gather waits for every sub-plan), and MemOps is the
+// total across shards. The dual replays feed the server's per-bank
+// telemetry aggregate plus the shard's own telemetry; when rec is non-nil
+// the replays also record per-memory-request spans (dual and row-only on
+// separate trace processes) plus a wall-clock span per replay phase.
+// streams[i] is shard i's trace (nil for shards the statement never
+// touched); on a 1-shard server it is the whole statement's trace and the
+// resulting Timing is identical to the unsharded server's.
+func (s *Server) replayTiming(streams []trace.Stream, rec *obs.Recorder, tid int64) (*Timing, error) {
+	t := &Timing{}
+	for _, stream := range streams {
+		t.MemOps += stream.MemOps()
+	}
 	if t.MemOps == 0 {
 		return t, nil
 	}
+
 	dualStart := time.Now()
-	cfg := config.RCNVM()
-	run := obs.NewTelemetry(cfg.Device.Geom.TotalBanks(), obs.DefaultSampleIntervalPs)
-	cfg.Telemetry = run
-	dualSys, err := sim.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("server: trace replay: %w", err)
+	type shardRun struct {
+		shard  int
+		memOps int
+		dualPs int64
+		rowPs  int64
 	}
-	dualSys.Observe(rec, obs.ProcSimDual)
-	dual, err := dualSys.Run([]trace.Stream{stream})
-	if err != nil {
-		return nil, fmt.Errorf("server: trace replay: %w", err)
+	var runs []shardRun
+	for i, stream := range streams {
+		if stream.MemOps() == 0 {
+			continue
+		}
+		cfg := config.RCNVM()
+		run := obs.NewTelemetry(cfg.Device.Geom.TotalBanks(), obs.DefaultSampleIntervalPs)
+		cfg.Telemetry = run
+		dualSys, err := sim.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: trace replay: %w", err)
+		}
+		dualSys.Observe(rec, obs.ProcSimDual)
+		dual, err := dualSys.Run([]trace.Stream{stream})
+		if err != nil {
+			return nil, fmt.Errorf("server: trace replay: %w", err)
+		}
+		s.tel.Merge(run)
+		if s.shardTels != nil {
+			s.shardTels[i].Merge(run)
+		}
+		runs = append(runs, shardRun{shard: i, memOps: stream.MemOps(), dualPs: dual.TimePs})
 	}
-	s.tel.Merge(run)
 	rec.WallSince(obs.ProcQuery, "replay_dual", obs.CatServer, tid, dualStart)
 
 	rowStart := time.Now()
-	rowSys, err := sim.New(config.RCNVM())
-	if err != nil {
-		return nil, fmt.Errorf("server: row-only replay: %w", err)
-	}
-	rowSys.Observe(rec, obs.ProcSimRow)
-	row, err := rowSys.Run([]trace.Stream{engine.RowOnlyStream(stream)})
-	if err != nil {
-		return nil, fmt.Errorf("server: row-only replay: %w", err)
+	for j := range runs {
+		rowSys, err := sim.New(config.RCNVM())
+		if err != nil {
+			return nil, fmt.Errorf("server: row-only replay: %w", err)
+		}
+		rowSys.Observe(rec, obs.ProcSimRow)
+		row, err := rowSys.Run([]trace.Stream{engine.RowOnlyStream(streams[runs[j].shard])})
+		if err != nil {
+			return nil, fmt.Errorf("server: row-only replay: %w", err)
+		}
+		runs[j].rowPs = row.TimePs
 	}
 	rec.WallSince(obs.ProcQuery, "replay_row", obs.CatServer, tid, rowStart)
 
-	t.DualPs = dual.TimePs
-	t.RowPs = row.TimePs
+	for _, r := range runs {
+		if r.dualPs > t.DualPs {
+			t.DualPs = r.dualPs
+		}
+		if r.rowPs > t.RowPs {
+			t.RowPs = r.rowPs
+		}
+		if s.cluster.N() > 1 {
+			t.Shards = append(t.Shards, ShardTiming{
+				Shard: r.shard, MemOps: r.memOps, DualPs: r.dualPs, RowPs: r.rowPs,
+			})
+		}
+	}
 	if t.DualPs > 0 {
 		t.Speedup = float64(t.RowPs) / float64(t.DualPs)
 	}

@@ -88,7 +88,12 @@ func TestConcurrentDualVsRowOnly(t *testing.T) {
 }
 
 // TestExecLockedReadOnlyClassification pins the statement classification
-// the locking discipline rests on.
+// the locking discipline rests on — including every shape the scatter-
+// gather executor splits into per-shard sub-plans. A sub-plan inherits the
+// whole statement's lock mode, so each of these shapes must classify
+// correctly regardless of whether it routes to one shard or broadcasts
+// (TestScatterSubPlanLockModes in the sql package additionally checks the
+// router's exclusive flag agrees with this classification per statement).
 func TestExecLockedReadOnlyClassification(t *testing.T) {
 	cases := []struct {
 		src string
@@ -102,6 +107,17 @@ func TestExecLockedReadOnlyClassification(t *testing.T) {
 		{"UPDATE t SET a = 1", false},
 		{"DELETE FROM t", false},
 		{"CREATE TABLE t (a)", false},
+		// Scatter-gather sub-plan shapes: point-routed reads stay readers,
+		// point-routed mutations stay writers (routing narrows the shard
+		// set, never the lock mode), and merged fan-out reads stay readers.
+		{"SELECT * FROM t WHERE a = 7", true},                // point select
+		{"SELECT a, SUM(b) FROM t GROUP BY a", true},         // partial-aggregate merge
+		{"SELECT MIN(b), MAX(b), COUNT(*) FROM t", true},     // multi-aggregate merge
+		{"SELECT a, b FROM t ORDER BY b DESC LIMIT 5", true}, // ordered merge
+		{"SELECT t.a, u.b FROM t JOIN u ON t.k = u.k", true}, // gathered join
+		{"UPDATE t SET b = 2 WHERE a = 7", false},            // point update
+		{"UPDATE t SET a = 2 WHERE b = 7", false},            // partition-column rewrite
+		{"DELETE FROM t WHERE a = 7", false},                 // point delete
 	}
 	for _, c := range cases {
 		st, err := sql.Parse(c.src)

@@ -141,6 +141,13 @@ func evalConds(t *engine.Table, conds []Cond) ([]int, error) {
 		}
 		rows = kept
 	}
+	// A WHERE that matches nothing must yield an empty (non-nil) row set:
+	// the engine's aggregate methods treat a nil slice as "all live rows",
+	// so propagating ScanWhere's nil here made SUM/MIN/MAX/GROUP BY over an
+	// empty match aggregate the whole table.
+	if rows == nil {
+		rows = []int{}
+	}
 	return rows, nil
 }
 
@@ -393,33 +400,33 @@ func runJoin(db *engine.DB, s *Select) (*Result, error) {
 	return res, nil
 }
 
-// runGroupBy handles SELECT key, AGG(x) FROM t [WHERE] GROUP BY key with
-// exactly one aggregate (SUM, AVG or COUNT).
-func runGroupBy(t *engine.Table, s *Select, rows []int) (*Result, error) {
-	key, err := resolveColumn(t, s.GroupBy)
+// groupBySpec validates the SELECT key, AGG(x) ... GROUP BY key shape and
+// resolves both columns. Shared by the single-database path and the
+// scatter-gather merge so they reject exactly the same statements.
+func groupBySpec(t *engine.Table, s *Select) (key, aggCol string, agg AggKind, err error) {
+	key, err = resolveColumn(t, s.GroupBy)
 	if err != nil {
-		return nil, err
+		return "", "", AggNone, err
 	}
 	if len(s.Items) != 2 || s.Items[0].Agg != AggNone ||
 		!strings.EqualFold(s.Items[0].Column, s.GroupBy) || s.Items[1].Agg == AggNone {
-		return nil, fmt.Errorf("sql: GROUP BY supports SELECT <key>, <aggregate> FROM ... GROUP BY <key>")
+		return "", "", AggNone, fmt.Errorf("sql: GROUP BY supports SELECT <key>, <aggregate> FROM ... GROUP BY <key>")
 	}
-	agg := s.Items[1]
-	aggCol := key // COUNT(*) needs no column; reuse the key for grouping
-	if agg.Agg != AggCount {
-		if aggCol, err = resolveColumn(t, agg.Column); err != nil {
-			return nil, err
+	it := s.Items[1]
+	aggCol = key // COUNT(*) needs no column; reuse the key for grouping
+	if it.Agg != AggCount {
+		if aggCol, err = resolveColumn(t, it.Column); err != nil {
+			return "", "", AggNone, err
 		}
 	}
-	if rows == nil && len(s.Where) == 0 {
-		rows = nil // all live rows
-	}
-	groups, err := t.GroupSum(key, aggCol, rows)
-	if err != nil {
-		return nil, err
-	}
+	return key, aggCol, it.Agg, nil
+}
+
+// renderGroups materializes GroupSum output (already merged and ordered by
+// key) as a Result.
+func renderGroups(groups []engine.GroupRow, key, aggCol string, agg AggKind) (*Result, error) {
 	res := &Result{}
-	switch agg.Agg {
+	switch agg {
 	case AggSum:
 		res.Columns = []string{key, "SUM(" + aggCol + ")"}
 		for _, g := range groups {
@@ -439,6 +446,20 @@ func runGroupBy(t *engine.Table, s *Select, rows []int) (*Result, error) {
 		return nil, fmt.Errorf("sql: GROUP BY supports SUM, AVG and COUNT")
 	}
 	return res, nil
+}
+
+// runGroupBy handles SELECT key, AGG(x) FROM t [WHERE] GROUP BY key with
+// exactly one aggregate (SUM, AVG or COUNT).
+func runGroupBy(t *engine.Table, s *Select, rows []int) (*Result, error) {
+	key, aggCol, agg, err := groupBySpec(t, s)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := t.GroupSum(key, aggCol, rows)
+	if err != nil {
+		return nil, err
+	}
+	return renderGroups(groups, key, aggCol, agg)
 }
 
 func runDelete(db *engine.DB, s *Delete) (*Result, error) {

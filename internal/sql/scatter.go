@@ -1,0 +1,354 @@
+package sql
+
+// Scatter-gather execution over a shard.Cluster: one statement is split
+// into per-shard sub-plans, fanned out over the cluster's worker budget,
+// and the partial results merged back into a single Result that is
+// byte-identical to what the 1-shard baseline produces.
+//
+// Routing: a statement whose WHERE pins the partitioning column with an
+// equality runs on exactly one shard (all matching rows live there);
+// everything else broadcasts. INSERT routes row by row but appends
+// sequentially in statement order so global row ids — the merge order of
+// every gathered result — follow insertion order exactly as baseline row
+// ids do.
+//
+// Locking: the shards a statement touches are locked in ascending shard
+// order (read locks for read-only statements, exclusive otherwise), held
+// across sub-plan execution AND the merge (merging plain selects and
+// joins projects rows, which reads shard memory). Ascending acquisition
+// makes the multi-shard 2PL deadlock-free at statement granularity.
+//
+// Determinism: fanned-out sub-plans never abort each other — every shard
+// runs to completion into its own slot and the merge consumes slots in
+// shard order, so results and error values are independent of -workers
+// and goroutine scheduling. When several shards fail (possible only with
+// fault injection), the lowest shard index's error wins.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"rcnvm/internal/engine"
+	"rcnvm/internal/obs"
+	"rcnvm/internal/par"
+	"rcnvm/internal/shard"
+	"rcnvm/internal/trace"
+)
+
+// ExecSharded parses and executes one statement across the cluster,
+// holding the per-shard statement locks the sub-plans require. A 1-shard
+// cluster takes exactly the ExecLocked path.
+func ExecSharded(c *shard.Cluster, src string) (*Result, error) {
+	if c.N() == 1 {
+		return ExecLocked(c.Shard(0), src)
+	}
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := runSharded(c, st, false, nil, 0)
+	return res, err
+}
+
+// ExecShardedObserved is ExecSharded with wall-clock phase spans (parse,
+// lock_wait, exec) recorded under obs.ProcQuery on lane tid.
+func ExecShardedObserved(c *shard.Cluster, src string, rec *obs.Recorder, tid int64) (*Result, error) {
+	if rec == nil {
+		return ExecSharded(c, src)
+	}
+	if c.N() == 1 {
+		return ExecObserved(c.Shard(0), src, rec, tid)
+	}
+	t0 := time.Now()
+	st, err := Parse(src)
+	rec.WallSince(obs.ProcQuery, "parse", obs.CatSQL, tid, t0)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := runSharded(c, st, false, rec, tid)
+	return res, err
+}
+
+// ExecShardedTraced executes one statement with per-shard memory-access
+// recording: streams[i] is shard i's recorded stream (nil for shards the
+// statement never locked). Tracing forces exclusive locks, as in
+// ExecTraced.
+func ExecShardedTraced(c *shard.Cluster, src string) (*Result, []trace.Stream, error) {
+	if c.N() == 1 {
+		res, stream, err := ExecTraced(c.Shard(0), src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, []trace.Stream{stream}, nil
+	}
+	st, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := st.(*Explain); ok {
+		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
+	}
+	return runSharded(c, st, true, nil, 0)
+}
+
+// ExecShardedTracedObserved is ExecShardedTraced with the ExecObserved
+// phase spans.
+func ExecShardedTracedObserved(c *shard.Cluster, src string, rec *obs.Recorder, tid int64) (*Result, []trace.Stream, error) {
+	if rec == nil {
+		return ExecShardedTraced(c, src)
+	}
+	if c.N() == 1 {
+		res, stream, err := ExecTracedObserved(c.Shard(0), src, rec, tid)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, []trace.Stream{stream}, nil
+	}
+	t0 := time.Now()
+	st, err := Parse(src)
+	rec.WallSince(obs.ProcQuery, "parse", obs.CatSQL, tid, t0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, ok := st.(*Explain); ok {
+		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
+	}
+	return runSharded(c, st, true, rec, tid)
+}
+
+// runSharded is the N>1 core: route, lock, (trace,) execute, merge.
+func runSharded(c *shard.Cluster, st Statement, traced bool, rec *obs.Recorder, tid int64) (*Result, []trace.Stream, error) {
+	targets, exclusive := route(c, st, traced)
+	tLock := time.Now()
+	unlock := lockShards(c, targets, exclusive)
+	defer unlock()
+	if rec != nil {
+		rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
+	}
+	var streams []trace.Stream
+	if traced {
+		streams = make([]trace.Stream, c.N())
+		for _, i := range targets {
+			c.Shard(i).StartTrace()
+		}
+	}
+	tExec := time.Now()
+	res, err := dispatchSharded(c, st, targets)
+	if traced {
+		for _, i := range targets {
+			streams[i] = c.Shard(i).StopTrace()
+		}
+	}
+	if rec != nil {
+		rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, streams, nil
+}
+
+func allShards(c *shard.Cluster) []int {
+	out := make([]int, c.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// route decides which shards a statement must lock and in which mode.
+// Sub-plans of a read-only statement take read locks only when the whole
+// statement is read-only and untraced; any mutation (or tracing, whose
+// buffer is exclusive DB state) escalates every target to the write lock.
+func route(c *shard.Cluster, st Statement, traced bool) (targets []int, exclusive bool) {
+	exclusive = traced || !ReadOnly(st)
+	switch s := st.(type) {
+	case *Select:
+		if s.JoinTable != "" {
+			return allShards(c), exclusive
+		}
+		if i, ok := pointShard(c, s.Table, s.Where); ok {
+			return []int{i}, exclusive
+		}
+		return allShards(c), exclusive
+	case *Update:
+		// Rewriting the partitioning column breaks "stored key predicts
+		// placement" for every row it touches: disable point routing for
+		// this table up front (permanently) and broadcast the update —
+		// broadcasts stay correct regardless of placement.
+		if col, _ := c.PartitionColumn(s.Table); col != "" {
+			for _, set := range s.Sets {
+				if strings.EqualFold(set.Column, col) {
+					c.MarkUnstable(s.Table)
+					return allShards(c), true
+				}
+			}
+		}
+		if i, ok := pointShard(c, s.Table, s.Where); ok {
+			return []int{i}, true
+		}
+		return allShards(c), true
+	case *Delete:
+		if i, ok := pointShard(c, s.Table, s.Where); ok {
+			return []int{i}, true
+		}
+		return allShards(c), true
+	case *Explain:
+		if !s.Analyze {
+			// Plan description reads one schema; shard 0 stands in for all.
+			return []int{0}, exclusive
+		}
+		return allShards(c), true
+	default: // CreateTable, Insert: DDL and row routing touch every shard.
+		return allShards(c), true
+	}
+}
+
+// pointShard reports the single shard that can satisfy a statement whose
+// WHERE pins the partitioning column with an equality: the hash placement
+// guarantees every matching row lives there, and the remaining conjuncts
+// only filter further.
+func pointShard(c *shard.Cluster, table string, where []Cond) (int, bool) {
+	col, routable := c.PartitionColumn(table)
+	if !routable {
+		return 0, false
+	}
+	for _, cond := range where {
+		if cond.Op == "=" && strings.EqualFold(cond.Column, col) {
+			return c.Partition(cond.Value), true
+		}
+	}
+	return 0, false
+}
+
+// lockShards acquires the targets' statement locks in ascending shard
+// order and returns the matching unlocker.
+func lockShards(c *shard.Cluster, targets []int, exclusive bool) (unlock func()) {
+	for _, i := range targets {
+		if exclusive {
+			c.Shard(i).Lock()
+		} else {
+			c.Shard(i).RLock()
+		}
+	}
+	return func() {
+		for j := len(targets) - 1; j >= 0; j-- {
+			if exclusive {
+				c.Shard(targets[j]).Unlock()
+			} else {
+				c.Shard(targets[j]).RUnlock()
+			}
+		}
+	}
+}
+
+// dispatchSharded executes a routed statement; locks are already held.
+func dispatchSharded(c *shard.Cluster, st Statement, targets []int) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTable:
+		return scatterCreate(c, s)
+	case *Insert:
+		return scatterInsert(c, s)
+	case *Select:
+		if s.JoinTable != "" {
+			return scatterJoin(c, s)
+		}
+		if len(targets) == 1 {
+			// Point query: every matching row lives on this shard, and its
+			// local row order equals the global order, so the unmodified
+			// single-database plan is already the merged answer.
+			return runSelect(c.Shard(targets[0]), s)
+		}
+		return scatterSelect(c, s)
+	case *Update:
+		return scatterAffected(c, targets, func(db *engine.DB) (*Result, error) { return runUpdate(db, s) })
+	case *Delete:
+		return scatterAffected(c, targets, func(db *engine.DB) (*Result, error) { return runDelete(db, s) })
+	case *Explain:
+		return scatterExplain(c, s)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+func errUnmanaged(table string) error {
+	return fmt.Errorf("sql: table %q not managed by the shard cluster", table)
+}
+
+// scatterCreate creates the table on every shard and registers it for
+// routing. Shard allocators evolve in lockstep (all DDL broadcasts), so
+// the shards fail or succeed together; the lowest shard's error wins.
+func scatterCreate(c *shard.Cluster, s *CreateTable) (*Result, error) {
+	type slot struct {
+		res *Result
+		err error
+	}
+	out := make([]slot, c.N())
+	_ = par.RunCells(context.Background(), c.Workers(), c.N(), func(i int) error {
+		out[i].res, out[i].err = runCreate(c.Shard(i), s)
+		return nil
+	})
+	for i := range out {
+		if out[i].err != nil {
+			return nil, out[i].err
+		}
+	}
+	c.Register(s.Name, s.Columns[0].Name, s.Columns[0].Words != 1)
+	return out[0].res, nil
+}
+
+// scatterInsert appends each row on its hash-owner shard, in statement
+// order, assigning global row ids as it goes. Sequential on purpose: a
+// mid-statement failure must leave exactly the earlier rows inserted,
+// like the single-database path.
+func scatterInsert(c *shard.Cluster, s *Insert) (*Result, error) {
+	if _, err := lookup(c.Shard(0), s.Table); err != nil {
+		return nil, err
+	}
+	if !c.Registered(s.Table) {
+		return nil, errUnmanaged(s.Table)
+	}
+	for ri, row := range s.Rows {
+		sh := c.Partition(row[0])
+		t, err := lookup(c.Shard(sh), s.Table)
+		if err != nil {
+			return nil, err
+		}
+		local, err := t.Append(row...)
+		if err != nil {
+			return nil, fmt.Errorf("sql: row %d: %w", ri+1, err)
+		}
+		if _, err := c.Assign(s.Table, sh, local); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+// scatterAffected broadcasts a mutation and sums the affected counts.
+// Every target runs to completion into its own slot, so the merged error
+// (lowest shard) is independent of worker scheduling.
+func scatterAffected(c *shard.Cluster, targets []int, run func(db *engine.DB) (*Result, error)) (*Result, error) {
+	if len(targets) == 1 {
+		return run(c.Shard(targets[0]))
+	}
+	type slot struct {
+		res *Result
+		err error
+	}
+	out := make([]slot, len(targets))
+	_ = par.RunCells(context.Background(), c.Workers(), len(targets), func(j int) error {
+		out[j].res, out[j].err = run(c.Shard(targets[j]))
+		return nil
+	})
+	total := 0
+	for j := range out {
+		if out[j].err != nil {
+			return nil, out[j].err
+		}
+		total += out[j].res.Affected
+	}
+	return &Result{Affected: total}, nil
+}

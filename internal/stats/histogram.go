@@ -3,14 +3,18 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
 )
 
-// Histogram accumulates positive int64 samples (picoseconds in this
-// project) into logarithmic buckets: bucket i covers [2^i, 2^(i+1)). It is
-// cheap enough to record every memory operation's latency.
+// Histogram accumulates int64 samples (picoseconds in this project) into
+// logarithmic buckets: bucket i covers [2^i, 2^(i+1)) for i >= 1, and
+// bucket 0 covers [0, 2) plus any stray negative samples (a sample below
+// the documented range is clamped into the lowest bucket rather than
+// misfiled or dropped). It is cheap enough to record every memory
+// operation's latency.
 type Histogram struct {
 	mu      sync.Mutex
 	buckets [64]int64
@@ -25,11 +29,12 @@ func NewHistogram() *Histogram {
 	return &Histogram{min: math.MaxInt64}
 }
 
-// Observe records one sample. Non-positive samples count into bucket 0.
+// Observe records one sample. Non-positive samples count into bucket 0
+// (the [0,2) bucket); they still contribute to count, sum, min and max.
 func (h *Histogram) Observe(v int64) {
 	i := 0
 	if v > 0 {
-		i = 63 - leadingZeros(uint64(v))
+		i = bits.Len64(uint64(v)) - 1
 	}
 	h.mu.Lock()
 	h.buckets[i]++
@@ -42,19 +47,6 @@ func (h *Histogram) Observe(v int64) {
 		h.max = v
 	}
 	h.mu.Unlock()
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	for bit := uint(63); ; bit-- {
-		if v&(1<<bit) != 0 {
-			return n
-		}
-		n++
-		if bit == 0 {
-			return n
-		}
-	}
 }
 
 // Count returns the number of samples.

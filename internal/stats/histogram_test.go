@@ -76,12 +76,64 @@ func TestQuantileEdges(t *testing.T) {
 	}
 }
 
+// TestNonPositiveSamples: zero and negative samples land in the [0,2)
+// bucket — counted, summed, and visible in min/max — never misfiled into a
+// positive bucket or dropped.
 func TestNonPositiveSamples(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(0)
 	h.Observe(-5)
 	if h.Count() != 2 {
 		t.Fatal("non-positive samples dropped")
+	}
+	if h.Min() != -5 || h.Max() != 0 {
+		t.Fatalf("min/max = %d/%d, want -5/0", h.Min(), h.Max())
+	}
+	if h.Sum() != -5 {
+		t.Fatalf("sum = %d, want -5", h.Sum())
+	}
+	// Both samples sit in bucket 0, whose reported lower bound is 1 (the
+	// bucket's positive floor); exactly one bucket is populated.
+	if bks := h.Buckets(); len(bks) != 1 || bks[0][1] != 2 {
+		t.Fatalf("buckets = %v, want one bucket holding both samples", bks)
+	}
+	// Quantiles stay within the lowest bucket's bound instead of jumping
+	// to a positive power of two further up.
+	if q := h.Quantile(0.99); q > 2 {
+		t.Fatalf("p99 = %d, want <= 2", q)
+	}
+
+	// Mixing non-positive and positive samples keeps the ordering: the
+	// non-positive ones fill the lowest bucket, so low quantiles reflect
+	// them and high quantiles reflect the real values.
+	h2 := NewHistogram()
+	h2.Observe(-1)
+	h2.Observe(0)
+	h2.Observe(1000)
+	if h2.Quantile(1) < 1000 {
+		t.Fatalf("p100 = %d, want >= 1000", h2.Quantile(1))
+	}
+	if q := h2.Quantile(0.5); q > 2 {
+		t.Fatalf("p50 = %d, want <= 2 (two of three samples are <= 0)", q)
+	}
+}
+
+// TestObserveBucketBoundaries pins the power-of-two edges after the move
+// to bits.Len64: 2^k is the first value of bucket k.
+func TestObserveBucketBoundaries(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 7, 8} {
+		h.Observe(v)
+	}
+	want := [][2]int64{{1, 1}, {2, 2}, {4, 2}, {8, 1}}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 
