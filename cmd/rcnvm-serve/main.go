@@ -53,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"rcnvm/internal/durable"
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
 	"rcnvm/internal/server"
@@ -72,6 +73,10 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "load-generator run length")
 		timedEv  = flag.Int("timing-every", 0, "load generator: request timing attribution every n-th query (0 = never)")
 
+		dataDir  = flag.String("data-dir", "", "durability directory: per-shard write-ahead log + checkpoints; kill -9 loses nothing acknowledged (\"\" = volatile)")
+		fsyncPol = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (group commit), interval, none")
+		walSegMB = flag.Int("wal-segment-mb", 8, "WAL segment rotation size in MiB with -data-dir")
+
 		queryTimeout = flag.Duration("query-timeout", 0, "per-statement deadline (0 = none; requests can only tighten it)")
 		traceEvery   = flag.Int("trace-every", 0, "server-side sample every n-th statement for span tracing (0 = explicit trace requests only)")
 		traceNDJSON  = flag.String("trace-ndjson", "", "append sampled traces to this file as NDJSON Chrome trace events (\"-\" = stderr)")
@@ -90,17 +95,46 @@ func main() {
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
 	}
+	faultsOn := *faultRBER > 0 || (*wearThresh > 0 && *wearRate > 0)
+	if *dataDir != "" && faultsOn {
+		// WAL replay re-executes statements; injected memory errors would
+		// not reproduce, so a recovered database could silently diverge.
+		fatal(fmt.Errorf("-data-dir cannot be combined with fault injection (replay would not be deterministic)"))
+	}
 	cluster, err := shard.Open(mode, *shards, 0)
 	if err != nil {
 		fatal(err)
 	}
+	var store *durable.Store
+	if *dataDir != "" {
+		pol, err := durable.ParseSyncPolicy(*fsyncPol)
+		if err != nil {
+			fatal(err)
+		}
+		if store, err = durable.Open(*dataDir, mode, *shards, durable.Options{
+			Fsync:        pol,
+			SegmentBytes: int64(*walSegMB) << 20,
+		}); err != nil {
+			fatal(err)
+		}
+		rs, err := store.Recover(cluster)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rcnvm-serve: durable in %s (fsync=%s, epoch %d): checkpoint=%v, %d records replayed, %d torn bytes dropped in %v\n",
+			*dataDir, pol, rs.Epoch, rs.Checkpoint, rs.Records, rs.TornBytes, rs.Elapsed.Round(time.Microsecond))
+	}
 	// The demo/load table every front end can query immediately. Created
 	// through the scatter executor so a multi-shard cluster registers it
-	// for hash routing; on one shard this is the plain engine path.
-	if _, err := sql.ExecSharded(cluster, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
-		fatal(err)
+	// for hash routing; on one shard this is the plain engine path. A
+	// recovered data directory already has it (the CREATE is in the
+	// checkpoint or WAL), so only create it when absent.
+	if _, ok := cluster.Shard(0).Table("load"); !ok {
+		if _, err := sql.ExecSharded(cluster, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
+			fatal(err)
+		}
 	}
-	if *faultRBER > 0 || (*wearThresh > 0 && *wearRate > 0) {
+	if faultsOn {
 		cluster.EnableFaults(fault.Config{
 			Enabled:             true,
 			Seed:                *faultSeed,
@@ -136,6 +170,7 @@ func main() {
 		TraceEvery:   *traceEvery,
 		TraceSink:    traceSink,
 		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Durable:      store,
 	})
 
 	if *pprofAddr != "" {
@@ -144,6 +179,7 @@ func main() {
 
 	if *loadgen > 0 {
 		runLoadgen(srv, *loadgen, *duration, *timedEv)
+		closeStore(store)
 		return
 	}
 
@@ -169,7 +205,20 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(fmt.Errorf("shutdown: %w", err))
 	}
+	closeStore(store)
 	fmt.Println("rcnvm-serve: drained, bye")
+}
+
+// closeStore force-syncs and closes the durability store (nil-safe). Runs
+// after Shutdown, whose clean-drain checkpoint has already truncated the
+// WAL.
+func closeStore(store *durable.Store) {
+	if store == nil {
+		return
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcnvm-serve: wal close:", err)
+	}
 }
 
 func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv int) {

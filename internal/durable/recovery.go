@@ -1,0 +1,245 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rcnvm/internal/shard"
+	"rcnvm/internal/sql"
+)
+
+// RecoveryStats summarizes one startup recovery.
+type RecoveryStats struct {
+	Epoch      uint64        // checkpoint epoch recovered from
+	Checkpoint bool          // a checkpoint was loaded (epoch > 1)
+	Records    int           // WAL records replayed across all shards
+	TornBytes  int64         // bytes truncated off torn final-segment tails
+	Elapsed    time.Duration // wall time for the whole recovery
+}
+
+// Recover rebuilds the cluster's pre-crash state from the data directory
+// and attaches the store to it: load the current epoch's checkpoint (if
+// one exists) into every shard plus the row registry, replay each shard's
+// WAL tail, then open the logs for appending and install the commit-log
+// hook on every shard database. The cluster must be fresh (no tables);
+// after Recover returns, it is serving-ready and every new mutation is
+// logged.
+//
+// A torn record at the very end of a shard's final segment is the crash
+// point: it is truncated away and recovery succeeds without it (the
+// statement was never acknowledged — its fsync had not completed).
+// Anything else structurally wrong (a corrupt record, a torn record
+// mid-log, a missing segment) aborts recovery with an error.
+func (s *Store) Recover(c *shard.Cluster) (RecoveryStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RecoveryStats{}, errLogClosed
+	}
+	if s.cluster != nil {
+		return RecoveryStats{}, fmt.Errorf("durable: store already attached to a cluster")
+	}
+	if c.N() != s.n {
+		return RecoveryStats{}, fmt.Errorf("durable: data dir holds %d shards, cluster has %d", s.n, c.N())
+	}
+	start := time.Now()
+	stats := RecoveryStats{Epoch: s.epoch}
+
+	// Checkpoint first: shard snapshots, then the registry that indexes
+	// them. Epoch 1 predates any checkpoint — shards start empty.
+	if raw, err := os.ReadFile(s.registryPath(s.epoch)); err == nil {
+		stats.Checkpoint = true
+		var st shard.RegistryState
+		if err := readFramedGob(raw, &st); err != nil {
+			return stats, fmt.Errorf("durable: registry checkpoint: %w", err)
+		}
+		if err := c.RestoreRegistry(st); err != nil {
+			return stats, err
+		}
+	} else if !os.IsNotExist(err) {
+		return stats, fmt.Errorf("durable: %w", err)
+	}
+	for i := 0; i < s.n; i++ {
+		path := s.checkpointPath(i, s.epoch)
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			if stats.Checkpoint {
+				return stats, fmt.Errorf("durable: registry checkpoint exists but %s is missing", filepath.Base(path))
+			}
+			continue
+		}
+		if err != nil {
+			return stats, fmt.Errorf("durable: %w", err)
+		}
+		if !stats.Checkpoint {
+			f.Close()
+			return stats, fmt.Errorf("durable: shard checkpoint %s exists without a registry checkpoint", filepath.Base(path))
+		}
+		err = c.Shard(i).Load(f)
+		f.Close()
+		if err != nil {
+			return stats, fmt.Errorf("durable: shard %d checkpoint: %w", i, err)
+		}
+	}
+
+	// Replay each shard's WAL tail and reopen its last segment for
+	// appending at the validated offset.
+	logs := make([]*Log, s.n)
+	for i := 0; i < s.n; i++ {
+		lastIdx, lastSize, err := s.replayShard(c, i, &stats)
+		if err != nil {
+			return stats, err
+		}
+		logs[i], err = openLog(s.shardDir(i), s.epoch, lastIdx, lastSize,
+			s.opts.Fsync, s.opts.SegmentBytes, s.opts.Interval, &s.counters)
+		if err != nil {
+			for _, l := range logs[:i] {
+				l.Close()
+			}
+			return stats, err
+		}
+	}
+	for i := 0; i < s.n; i++ {
+		c.Shard(i).SetCommitLog(&shardHook{log: logs[i]})
+	}
+	s.logs = logs
+	s.cluster = c
+	stats.Elapsed = time.Since(start)
+	s.counters.RecoveryReplayed.Add(int64(stats.Records))
+	s.counters.RecoveryTornBytes.Add(stats.TornBytes)
+	s.counters.RecoveryNanos.Add(stats.Elapsed.Nanoseconds())
+	return stats, nil
+}
+
+// replayShard replays shard i's current-epoch segments in index order and
+// returns the index and validated byte length of the final segment (1 and
+// 0 when the shard has no segments yet).
+func (s *Store) replayShard(c *shard.Cluster, i int, stats *RecoveryStats) (lastIdx int, lastSize int64, err error) {
+	paths, idxs, err := s.sortedSegments(i)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(paths) == 0 {
+		return 1, 0, nil
+	}
+	for j, idx := range idxs {
+		// Segments are born 1, 2, 3... within an epoch; a gap means a
+		// segment of acknowledged records is gone.
+		if idx != j+1 {
+			return 0, 0, fmt.Errorf("durable: shard %d: wal segment %d missing (found segment %d)", i, j+1, idx)
+		}
+	}
+	for j, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return 0, 0, fmt.Errorf("durable: %w", err)
+		}
+		final := j == len(paths)-1
+		off := int64(0)
+		rest := raw
+		for len(rest) > 0 {
+			payload, next, err := DecodeFrame(rest)
+			if err != nil {
+				if final && errors.Is(err, ErrTorn) {
+					// The crash point: a record written partially and never
+					// acknowledged. Drop it and continue from here.
+					torn := int64(len(rest))
+					if err := os.Truncate(path, off); err != nil {
+						return 0, 0, fmt.Errorf("durable: truncate torn tail: %w", err)
+					}
+					stats.TornBytes += torn
+					rest = nil
+					break
+				}
+				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
+			}
+			rec, err := DecodePayload(payload)
+			if err != nil {
+				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
+			}
+			if err := applyRecord(c, i, rec); err != nil {
+				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
+			}
+			stats.Records++
+			off += int64(len(rest) - len(next))
+			rest = next
+		}
+		if final {
+			lastIdx, lastSize = idxs[j], off
+		}
+	}
+	return lastIdx, lastSize, nil
+}
+
+// applyRecord re-executes one WAL record against shard i. Replay runs
+// before the commit-log hook is installed, so nothing is re-logged.
+func applyRecord(c *shard.Cluster, i int, rec Record) error {
+	db := c.Shard(i)
+	switch rec.Kind {
+	case recStatement:
+		st, err := sql.Parse(rec.Src)
+		if err != nil {
+			return fmt.Errorf("%w: logged statement does not parse: %v", ErrCorrupt, err)
+		}
+		_, runErr := sql.Run(db, st)
+		if runErr != nil && !rec.Failed {
+			// The statement committed cleanly before the crash but fails
+			// now: the replayed prefix has diverged — refusing is safer
+			// than serving silently different data.
+			return fmt.Errorf("durable: replay diverged: %q failed on recovery: %w", rec.Src, runErr)
+		}
+		// Failed-flagged statements are replayed leniently: the engine is
+		// deterministic, so re-execution reproduces the same partial
+		// effects and (normally) the same error.
+		if ct, ok := st.(*sql.CreateTable); ok && runErr == nil && c.N() > 1 && !c.Registered(ct.Name) {
+			// First shard to replay the broadcast CREATE registers it for
+			// routing, exactly as scatterCreate did.
+			c.Register(ct.Name, ct.Columns[0].Name, ct.Columns[0].Words != 1)
+		}
+		if rec.Unstable {
+			if up, ok := st.(*sql.Update); ok {
+				c.MarkUnstable(up.Table)
+			}
+		}
+		return nil
+	case recInsert:
+		if len(rec.Rows) != len(rec.Globals) {
+			return fmt.Errorf("%w: insert record with %d rows, %d globals", ErrCorrupt, len(rec.Rows), len(rec.Globals))
+		}
+		t, ok := db.Table(rec.Table)
+		if !ok {
+			return fmt.Errorf("durable: replay diverged: insert into missing table %q", rec.Table)
+		}
+		for j, row := range rec.Rows {
+			local, err := t.Append(row...)
+			if err != nil {
+				return fmt.Errorf("durable: replay diverged: %q insert: %w", rec.Table, err)
+			}
+			if err := c.AssignRecovered(rec.Table, i, local, rec.Globals[j]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, rec.Kind)
+	}
+}
+
+// shardHook adapts one shard's Log to the engine.CommitLog interface the
+// sql layer calls on the commit path.
+type shardHook struct {
+	log *Log
+}
+
+// LogStatement implements engine.CommitLog.
+func (h *shardHook) LogStatement(src string, failed, unstable bool) (func() error, error) {
+	return h.log.Append(encodeStatement(nil, src, failed, unstable))
+}
+
+// LogInsert implements engine.CommitLog.
+func (h *shardHook) LogInsert(table string, rows [][]uint64, globals []int) (func() error, error) {
+	return h.log.Append(encodeInsert(nil, table, rows, globals))
+}

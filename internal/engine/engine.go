@@ -72,9 +72,43 @@ type DB struct {
 	// *fault.UncorrectableError from whichever Table method hit them.
 	inj *fault.Injector
 
+	// commitLog, when non-nil, is the durability hook installed by
+	// internal/durable: the sql layer appends one record per mutating
+	// statement while still holding the statement lock, then waits for
+	// durability after releasing it. Nil (the default) keeps the engine
+	// fully volatile with zero added work on the execution path.
+	commitLog CommitLog
+
 	recording bool
 	traceOps  trace.Stream
 }
+
+// CommitLog is the write-ahead-log hook for one database (one shard).
+// Implementations append a record under the caller-held statement lock —
+// per-log record order must equal commit order — and return a wait
+// function that blocks until the record is durable (nil when the
+// configured fsync policy acknowledges immediately).
+type CommitLog interface {
+	// LogStatement records one mutating statement by source text. failed
+	// marks statements that returned an error but may still have partially
+	// mutated state (a mid-statement INSERT capacity failure, say);
+	// deterministic re-execution reproduces the same partial effects.
+	// unstable marks statements that rewrote the shard-partitioning
+	// column, so recovery re-disables point routing for the table.
+	LogStatement(src string, failed, unstable bool) (wait func() error, err error)
+	// LogInsert records rows appended to this shard by a scatter-routed
+	// INSERT, with the global row ids the shard registry assigned — the
+	// merge keys recovery must re-derive exactly.
+	LogInsert(table string, rows [][]uint64, globals []int) (wait func() error, err error)
+}
+
+// SetCommitLog installs the durability hook (nil disables it, the
+// default). Install before serving traffic: the field itself is not
+// synchronized.
+func (db *DB) SetCommitLog(l CommitLog) { db.commitLog = l }
+
+// CommitLog returns the installed durability hook (nil when volatile).
+func (db *DB) CommitLog() CommitLog { return db.commitLog }
 
 // Open creates a database on a fresh memory. DualAddress mode uses the
 // RC-NVM geometry with the chunked column-oriented layout; RowOnly uses a

@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -14,6 +17,22 @@ import (
 // survives power-down — so Save/Load stands in for device persistence when
 // the simulated memory lives in a volatile Go process: a saved database
 // re-loaded into a fresh DB reproduces identical query results.
+//
+// On the wire a snapshot is the gob payload wrapped in a tamper-evident
+// frame, so a truncated or corrupt checkpoint file is rejected up front
+// instead of being partially decoded into a half-built database:
+//
+//	magic(8) | payload length (8, LE) | gob payload | CRC32-C(payload) (4, LE)
+
+// snapMagic opens every snapshot ("RCNVSNP" + format byte).
+var snapMagic = [8]byte{'R', 'C', 'N', 'V', 'S', 'N', 'P', 2}
+
+// snapCRC is the snapshot checksum polynomial (Castagnoli, as the WAL).
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSnapshotBytes bounds the declared payload length so a corrupt
+// header cannot provoke an absurd allocation.
+const maxSnapshotBytes = 1 << 33
 
 type persistField struct {
 	Name  string
@@ -36,8 +55,31 @@ type persistDB struct {
 	Tables  []persistTable
 }
 
-// persistVersion guards the on-disk format.
-const persistVersion = 1
+// persistVersion guards the on-disk format (2 = framed with magic + CRC).
+const persistVersion = 2
+
+// String names the addressing mode.
+func (m Mode) String() string {
+	switch m {
+	case DualAddress:
+		return "dual-address"
+	case RowOnly:
+		return "row-only"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ModeMismatchError reports a snapshot whose addressing mode differs from
+// the database it was loaded into. The two modes place tables through
+// different allocators, so silently loading across them would change
+// every access trace and timing result the database produces.
+type ModeMismatchError struct {
+	Snapshot, DB Mode
+}
+
+func (e *ModeMismatchError) Error() string {
+	return fmt.Sprintf("engine: snapshot is %s but the database is %s", e.Snapshot, e.DB)
+}
 
 // Save writes a snapshot of the database (catalog and all tuple values).
 func (db *DB) Save(w io.Writer) error {
@@ -67,20 +109,66 @@ func (db *DB) Save(w io.Writer) error {
 		}
 		snap.Tables = append(snap.Tables, pt)
 	}
-	return gob.NewEncoder(w).Encode(snap)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), snapCRC))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	return nil
 }
 
-// Load reads a snapshot into a fresh database (which must have no tables).
+// Load reads a snapshot into a fresh database (which must have no
+// tables). The snapshot's frame is verified — bad magic, a truncated
+// payload, or a CRC mismatch reject the whole file — and its addressing
+// mode must match the database's (*ModeMismatchError otherwise).
 func (db *DB) Load(r io.Reader) error {
 	if len(db.tables) != 0 {
 		return fmt.Errorf("engine: Load requires an empty database")
 	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("engine: load: truncated snapshot header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], snapMagic[:]) {
+		return fmt.Errorf("engine: load: bad snapshot magic %q", hdr[:8])
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	if n > maxSnapshotBytes {
+		return fmt.Errorf("engine: load: implausible snapshot payload (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("engine: load: truncated snapshot payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return fmt.Errorf("engine: load: truncated snapshot checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, snapCRC), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return fmt.Errorf("engine: load: snapshot checksum mismatch (%08x != %08x)", got, want)
+	}
 	var snap persistDB
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
 		return fmt.Errorf("engine: load: %w", err)
 	}
 	if snap.Version != persistVersion {
 		return fmt.Errorf("engine: snapshot version %d, want %d", snap.Version, persistVersion)
+	}
+	if snap.Mode != db.mode {
+		return &ModeMismatchError{Snapshot: snap.Mode, DB: db.mode}
 	}
 	for _, pt := range snap.Tables {
 		schema := imdb.Schema{Name: pt.Name}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -55,26 +56,80 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSaveLoadAcrossModes(t *testing.T) {
-	// A dual-address snapshot loads into a row-only engine (and vice
-	// versa): the values are mode-independent.
+func TestLoadRejectsModeMismatch(t *testing.T) {
+	// A dual-address snapshot must not load into a row-only engine (or
+	// vice versa): the two modes place tables through different
+	// allocators, so the mismatch is detected and typed instead of
+	// silently producing a database with different access traces.
 	src, _ := Open(DualAddress)
-	_, ref := buildPeople(t, src, 64)
+	buildPeople(t, src, 64)
 	var buf bytes.Buffer
 	if err := src.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
 	dst, _ := Open(RowOnly)
-	if err := dst.Load(&buf); err != nil {
+	err := dst.Load(bytes.NewReader(buf.Bytes()))
+	var mm *ModeMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("cross-mode load: got %v, want *ModeMismatchError", err)
+	}
+	if mm.Snapshot != DualAddress || mm.DB != RowOnly {
+		t.Fatalf("mismatch error = %+v", mm)
+	}
+	// The matching mode still loads.
+	ok, _ := Open(DualAddress)
+	if err := ok.Load(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	tbl, _ := dst.Table("person")
-	vals, err := tbl.Tuple(10)
-	if err != nil {
+}
+
+func TestLoadRejectsCorruptSnapshot(t *testing.T) {
+	src, _ := Open(DualAddress)
+	buildPeople(t, src, 64)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(vals, ref[10]) {
-		t.Fatalf("cross-mode reload row 10 = %v", vals)
+	snap := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}},
+		{"flipped checksum byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x01
+			return c
+		}},
+		{"truncated payload", func(b []byte) []byte {
+			return append([]byte(nil), b[:len(b)-7]...)
+		}},
+		{"truncated header", func(b []byte) []byte {
+			return append([]byte(nil), b[:10]...)
+		}},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst, _ := Open(DualAddress)
+			if err := dst.Load(bytes.NewReader(tc.mutate(snap))); err == nil {
+				t.Fatal("corrupt snapshot accepted")
+			}
+			if n := len(dst.tables); n != 0 {
+				// Rejection happens before any table is built: a corrupt
+				// checkpoint must not leave a half-loaded database.
+				t.Fatalf("corrupt load left %d tables behind", n)
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"rcnvm/internal/durable"
 	"rcnvm/internal/obs"
 )
 
@@ -44,6 +45,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range faultCounterNames {
 		if _, ok := counters[name]; !ok {
 			counters[name] = 0
+		}
+	}
+	// wal.* series render from the first scrape like every other family
+	// (all zero on a volatile server).
+	for _, name := range durable.CounterNames {
+		if _, ok := counters[name]; !ok {
+			counters[name] = 0
+		}
+	}
+	if s.opts.Durable != nil {
+		for name, v := range s.opts.Durable.CounterSnapshot() {
+			counters[name] = v
 		}
 	}
 	if c, ok := s.faultCounts(); ok {

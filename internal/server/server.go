@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rcnvm/internal/config"
+	"rcnvm/internal/durable"
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
 	"rcnvm/internal/obs"
@@ -54,6 +55,12 @@ type Options struct {
 	// Logger, when non-nil, receives structured server logs (one line per
 	// session close with duration, statement and error counts).
 	Logger *slog.Logger
+	// Durable, when non-nil, is the durability subsystem already recovered
+	// onto the served cluster. The server merges its counters into /stats
+	// and /metrics, serves POST /checkpoint, and checkpoints once after a
+	// successful shutdown drain so a clean restart replays no WAL. Nil (the
+	// default) serves fully volatile, exactly as before.
+	Durable *durable.Store
 
 	// execDelay stretches every statement; tests use it to make
 	// drain/overload windows deterministic.
@@ -265,6 +272,7 @@ func (s *Server) ListenHTTP(addr string) (net.Addr, error) {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/stats/banks", s.handleBanks)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -327,6 +335,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleCheckpoint serves POST /checkpoint: snapshot every shard and
+// truncate the WAL. Quiesces the cluster for the duration (statements
+// queue behind the shard locks). 404 on a volatile server.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.opts.Durable == nil {
+		http.Error(w, "server is volatile (no -data-dir)", http.StatusNotFound)
+		return
+	}
+	if err := s.opts.Durable.Checkpoint(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"epoch":  s.opts.Durable.Epoch(),
+	})
+}
+
 // writeJSON writes one JSON response body. Encode failures (the client
 // closed the connection mid-response, typically) are counted and logged —
 // nothing more can be sent to the peer at that point, but the drop must
@@ -359,6 +389,11 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.Counters[FaultUncorrectable] = c.Uncorrectable
 		snap.Counters[FaultMiscorrected] = c.Miscorrected
 		snap.Counters[FaultWrites] = c.Writes
+	}
+	if s.opts.Durable != nil {
+		for name, v := range s.opts.Durable.CounterSnapshot() {
+			snap.Counters[name] = v
+		}
 	}
 	return snap
 }
@@ -691,6 +726,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	select {
 	case <-drained:
+		// Checkpoint after a clean drain (no statements can be running):
+		// the next boot loads the snapshot and replays an empty WAL. A
+		// timed-out drain skips this — in-flight statements still hold
+		// shard locks, and the WAL already covers everything acknowledged.
+		if s.opts.Durable != nil {
+			if cerr := s.opts.Durable.Checkpoint(); cerr != nil && s.opts.Logger != nil {
+				s.opts.Logger.Warn("shutdown checkpoint failed", "error", cerr)
+			}
+		}
 	case <-ctx.Done():
 		err = ctx.Err()
 	}

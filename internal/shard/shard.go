@@ -181,6 +181,41 @@ func (c *Cluster) Global(name string, shard, local int) (int, bool) {
 	return tm.toGlobal[shard][local], true
 }
 
+// AssignRecovered re-records a row during WAL replay with the global id
+// it was originally assigned. Unlike Assign it never allocates a new id:
+// the logged id IS the merge key the row had before the crash, and the
+// registry must reproduce it exactly for recovered scatter-gather results
+// to stay byte-identical. Rows may arrive out of global order (recovery
+// replays shard logs one shard at a time), so owner grows sparsely and
+// next tracks the high-water mark.
+func (c *Cluster) AssignRecovered(name string, shard, local, global int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tm, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("shard: table %q not managed by the cluster", name)
+	}
+	if local != len(tm.toGlobal[shard]) {
+		return fmt.Errorf("shard: recover table %q shard %d: local row %d out of sequence (want %d)",
+			name, shard, local, len(tm.toGlobal[shard]))
+	}
+	if global < 0 {
+		return fmt.Errorf("shard: recover table %q: negative global row id %d", name, global)
+	}
+	tm.toGlobal[shard] = append(tm.toGlobal[shard], global)
+	for len(tm.owner) <= global {
+		tm.owner = append(tm.owner, ref{shard: -1, local: -1})
+	}
+	if r := tm.owner[global]; r.shard != -1 {
+		return fmt.Errorf("shard: recover table %q: global row %d assigned twice", name, global)
+	}
+	tm.owner[global] = ref{shard: shard, local: local}
+	if global >= tm.next {
+		tm.next = global + 1
+	}
+	return nil
+}
+
 // Owner returns the (shard, local) location of a global row id for name.
 func (c *Cluster) Owner(name string, global int) (shard, local int, ok bool) {
 	c.mu.RLock()
@@ -190,7 +225,99 @@ func (c *Cluster) Owner(name string, global int) (shard, local int, ok bool) {
 		return 0, 0, false
 	}
 	r := tm.owner[global]
+	if r.shard < 0 {
+		// A hole left by an out-of-order AssignRecovered that has not been
+		// filled yet (possible only mid-recovery).
+		return 0, 0, false
+	}
 	return r.shard, r.local, true
+}
+
+// RegistryState is the serializable form of the cluster's row registry,
+// captured at checkpoint time and restored before WAL replay. It carries
+// everything routing and result merging depend on: the partition column
+// and its wide flag, the dirty (point-routing-disabled) flag, and the
+// complete global-row id mapping.
+type RegistryState struct {
+	Shards int
+	Tables map[string]TableState
+}
+
+// TableState is one table's registry entry in serializable form.
+type TableState struct {
+	PartCol  string
+	PartWide bool
+	Dirty    bool
+	Next     int
+	ToGlobal [][]int
+	Owner    []RowRef
+}
+
+// RowRef is the serializable (shard, local) location of one global row.
+type RowRef struct {
+	Shard, Local int
+}
+
+// RegistrySnapshot captures the registry. Callers must hold every shard's
+// exclusive statement lock (as the checkpointer does), so no statement
+// can be mutating the registry concurrently.
+func (c *Cluster) RegistrySnapshot() RegistryState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := RegistryState{Shards: len(c.shards), Tables: make(map[string]TableState, len(c.tables))}
+	for name, tm := range c.tables {
+		ts := TableState{
+			PartCol:  tm.partCol,
+			PartWide: tm.partWide,
+			Dirty:    tm.dirty.Load(),
+			Next:     tm.next,
+			ToGlobal: make([][]int, len(tm.toGlobal)),
+			Owner:    make([]RowRef, len(tm.owner)),
+		}
+		for i, g := range tm.toGlobal {
+			ts.ToGlobal[i] = append([]int(nil), g...)
+		}
+		for i, r := range tm.owner {
+			ts.Owner[i] = RowRef{Shard: r.shard, Local: r.local}
+		}
+		st.Tables[name] = ts
+	}
+	return st
+}
+
+// RestoreRegistry replaces the (empty) registry with a checkpointed
+// snapshot. It rejects snapshots taken at a different shard count: hash
+// placement is modulo N, so the stored rows would not live where routing
+// expects them.
+func (c *Cluster) RestoreRegistry(st RegistryState) error {
+	if st.Shards != len(c.shards) {
+		return fmt.Errorf("shard: registry snapshot taken at %d shards, cluster has %d", st.Shards, len(c.shards))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.tables) != 0 {
+		return fmt.Errorf("shard: RestoreRegistry requires an empty registry")
+	}
+	for name, ts := range st.Tables {
+		tm := &tableMap{
+			partCol:  ts.PartCol,
+			partWide: ts.PartWide,
+			next:     ts.Next,
+			toGlobal: make([][]int, len(c.shards)),
+			owner:    make([]ref, len(ts.Owner)),
+		}
+		tm.dirty.Store(ts.Dirty)
+		for i := range ts.ToGlobal {
+			if i < len(tm.toGlobal) {
+				tm.toGlobal[i] = append([]int(nil), ts.ToGlobal[i]...)
+			}
+		}
+		for i, r := range ts.Owner {
+			tm.owner[i] = ref{shard: r.Shard, local: r.Local}
+		}
+		c.tables[name] = tm
+	}
+	return nil
 }
 
 // EnableFaults installs an independent fault injector on every shard.

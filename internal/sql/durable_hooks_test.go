@@ -1,0 +1,75 @@
+package sql
+
+import (
+	"testing"
+
+	"rcnvm/internal/engine"
+)
+
+// TestLogCommitNilPathAllocatesNothing pins the volatile-server
+// contract: with no commit log installed (-data-dir unset), the
+// durability hooks on the write path cost one nil check and zero
+// allocations.
+func TestLogCommitNilPathAllocatesNothing(t *testing.T) {
+	db, err := engine.Open(engine.DualAddress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Parse("UPDATE kv SET val = 1 WHERE k = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if wait := logCommit(db, st, "UPDATE kv SET val = 1 WHERE k = 2", nil); wait != nil {
+			t.Fatal("nil commit log produced a wait func")
+		}
+		if err := awaitDurable(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("volatile logCommit path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestMutatesRecursesIntoExplainAnalyze(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"SELECT COUNT(*) FROM kv", false},
+		{"EXPLAIN SELECT * FROM kv", false},
+		{"EXPLAIN ANALYZE SELECT * FROM kv", false},
+		{"INSERT INTO kv VALUES (1, 2)", true},
+		{"EXPLAIN INSERT INTO kv VALUES (1, 2)", false}, // plan only, never executed
+		{"EXPLAIN ANALYZE INSERT INTO kv VALUES (1, 2)", true},
+		{"EXPLAIN ANALYZE DELETE FROM kv WHERE k = 1", true},
+	}
+	for _, tc := range cases {
+		st, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if got := mutates(st); got != tc.want {
+			t.Fatalf("mutates(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestInnerSrc: the WAL must log the mutation inside EXPLAIN ANALYZE,
+// not the EXPLAIN itself, so replay re-executes without re-timing.
+func TestInnerSrc(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"INSERT INTO kv VALUES (1)", "INSERT INTO kv VALUES (1)"},
+		{"EXPLAIN ANALYZE INSERT INTO kv VALUES (1)", "INSERT INTO kv VALUES (1)"},
+		{"explain analyze delete from kv", "delete from kv"},
+		{"  EXPLAIN   ANALYZE  UPDATE kv SET a = 1", "UPDATE kv SET a = 1"},
+		// EXPLAINANALYZE is an identifier, not two keywords.
+		{"EXPLAINANALYZE INSERT", "EXPLAINANALYZE INSERT"},
+	}
+	for _, tc := range cases {
+		if got := innerSrc(tc.in); got != tc.want {
+			t.Fatalf("innerSrc(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func ExecSharded(c *shard.Cluster, src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := runSharded(c, st, false, nil, 0)
+	res, _, err := runSharded(c, st, src, false, nil, 0)
 	return res, err
 }
 
@@ -67,7 +67,7 @@ func ExecShardedObserved(c *shard.Cluster, src string, rec *obs.Recorder, tid in
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := runSharded(c, st, false, rec, tid)
+	res, _, err := runSharded(c, st, src, false, rec, tid)
 	return res, err
 }
 
@@ -90,7 +90,7 @@ func ExecShardedTraced(c *shard.Cluster, src string) (*Result, []trace.Stream, e
 	if _, ok := st.(*Explain); ok {
 		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
 	}
-	return runSharded(c, st, true, nil, 0)
+	return runSharded(c, st, src, true, nil, 0)
 }
 
 // ExecShardedTracedObserved is ExecShardedTraced with the ExecObserved
@@ -115,15 +115,23 @@ func ExecShardedTracedObserved(c *shard.Cluster, src string, rec *obs.Recorder, 
 	if _, ok := st.(*Explain); ok {
 		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
 	}
-	return runSharded(c, st, true, rec, tid)
+	return runSharded(c, st, src, true, rec, tid)
 }
 
-// runSharded is the N>1 core: route, lock, (trace,) execute, merge.
-func runSharded(c *shard.Cluster, st Statement, traced bool, rec *obs.Recorder, tid int64) (*Result, []trace.Stream, error) {
+// runSharded is the N>1 core: route, lock, (trace,) execute, log, merge,
+// unlock, wait for durability.
+func runSharded(c *shard.Cluster, st Statement, src string, traced bool, rec *obs.Recorder, tid int64) (*Result, []trace.Stream, error) {
 	targets, exclusive := route(c, st, traced)
 	tLock := time.Now()
 	unlock := lockShards(c, targets, exclusive)
-	defer unlock()
+	unlocked := false
+	defer func() {
+		// Panic-safe: the normal path unlocks by hand before the
+		// durability wait below.
+		if !unlocked {
+			unlock()
+		}
+	}()
 	if rec != nil {
 		rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
 	}
@@ -135,7 +143,7 @@ func runSharded(c *shard.Cluster, st Statement, traced bool, rec *obs.Recorder, 
 		}
 	}
 	tExec := time.Now()
-	res, err := dispatchSharded(c, st, targets)
+	res, waits, err := dispatchSharded(c, st, src, targets)
 	if traced {
 		for _, i := range targets {
 			streams[i] = c.Shard(i).StopTrace()
@@ -144,10 +152,56 @@ func runSharded(c *shard.Cluster, st Statement, traced bool, rec *obs.Recorder, 
 	if rec != nil {
 		rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
 	}
+	// Release the statement locks before waiting for the WAL fsyncs:
+	// group commit batches concurrent statements' records behind shared
+	// fsyncs, which only helps if the lock is free while waiting.
+	unlocked = true
+	unlock()
+	if len(waits) > 0 {
+		tWal := time.Now()
+		werr := awaitAll(waits)
+		if rec != nil {
+			rec.WallSince(obs.ProcQuery, "wal_wait", obs.CatSQL, tid, tWal)
+		}
+		if werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, streams, nil
+}
+
+// awaitAll runs every per-shard durability wait (skipping nils) and
+// returns the first failure.
+func awaitAll(waits []func() error) error {
+	var err error
+	for _, w := range waits {
+		if w == nil {
+			continue
+		}
+		if e := w(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// updateUnstable reports whether an UPDATE rewrites its table's
+// partitioning column. Recorded in the WAL so recovery re-disables point
+// routing for the table exactly as route() did before the crash.
+func updateUnstable(c *shard.Cluster, s *Update) bool {
+	col, _ := c.PartitionColumn(s.Table)
+	if col == "" {
+		return false
+	}
+	for _, set := range s.Sets {
+		if strings.EqualFold(set.Column, col) {
+			return true
+		}
+	}
+	return false
 }
 
 func allShards(c *shard.Cluster) []int {
@@ -245,31 +299,38 @@ func lockShards(c *shard.Cluster, targets []int, exclusive bool) (unlock func())
 }
 
 // dispatchSharded executes a routed statement; locks are already held.
-func dispatchSharded(c *shard.Cluster, st Statement, targets []int) (*Result, error) {
+// The returned waits are per-shard durability waits the caller must run
+// after releasing the locks (nil/empty when nothing was logged).
+func dispatchSharded(c *shard.Cluster, st Statement, src string, targets []int) (*Result, []func() error, error) {
 	switch s := st.(type) {
 	case *CreateTable:
-		return scatterCreate(c, s)
+		return scatterCreate(c, s, src)
 	case *Insert:
 		return scatterInsert(c, s)
 	case *Select:
 		if s.JoinTable != "" {
-			return scatterJoin(c, s)
+			res, err := scatterJoin(c, s)
+			return res, nil, err
 		}
 		if len(targets) == 1 {
 			// Point query: every matching row lives on this shard, and its
 			// local row order equals the global order, so the unmodified
 			// single-database plan is already the merged answer.
-			return runSelect(c.Shard(targets[0]), s)
+			res, err := runSelect(c.Shard(targets[0]), s)
+			return res, nil, err
 		}
-		return scatterSelect(c, s)
+		res, err := scatterSelect(c, s)
+		return res, nil, err
 	case *Update:
-		return scatterAffected(c, targets, func(db *engine.DB) (*Result, error) { return runUpdate(db, s) })
+		return scatterAffected(c, targets, src, updateUnstable(c, s),
+			func(db *engine.DB) (*Result, error) { return runUpdate(db, s) })
 	case *Delete:
-		return scatterAffected(c, targets, func(db *engine.DB) (*Result, error) { return runDelete(db, s) })
+		return scatterAffected(c, targets, src, false,
+			func(db *engine.DB) (*Result, error) { return runDelete(db, s) })
 	case *Explain:
-		return scatterExplain(c, s)
+		return scatterExplain(c, s, src)
 	default:
-		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+		return nil, nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}
 }
 
@@ -280,7 +341,9 @@ func errUnmanaged(table string) error {
 // scatterCreate creates the table on every shard and registers it for
 // routing. Shard allocators evolve in lockstep (all DDL broadcasts), so
 // the shards fail or succeed together; the lowest shard's error wins.
-func scatterCreate(c *shard.Cluster, s *CreateTable) (*Result, error) {
+// Every shard logs the statement (with its own failure flag) so replay
+// re-creates the table on each shard independently.
+func scatterCreate(c *shard.Cluster, s *CreateTable, src string) (*Result, []func() error, error) {
 	type slot struct {
 		res *Result
 		err error
@@ -290,49 +353,101 @@ func scatterCreate(c *shard.Cluster, s *CreateTable) (*Result, error) {
 		out[i].res, out[i].err = runCreate(c.Shard(i), s)
 		return nil
 	})
+	var waits []func() error
+	if c.Shard(0).CommitLog() != nil {
+		waits = make([]func() error, 0, c.N())
+		for i := range out {
+			if w := logShard(c.Shard(i), src, out[i].err != nil, false); w != nil {
+				waits = append(waits, w)
+			}
+		}
+	}
 	for i := range out {
 		if out[i].err != nil {
-			return nil, out[i].err
+			return nil, waits, out[i].err
 		}
 	}
 	c.Register(s.Name, s.Columns[0].Name, s.Columns[0].Words != 1)
-	return out[0].res, nil
+	return out[0].res, waits, nil
 }
 
 // scatterInsert appends each row on its hash-owner shard, in statement
 // order, assigning global row ids as it goes. Sequential on purpose: a
 // mid-statement failure must leave exactly the earlier rows inserted,
-// like the single-database path.
-func scatterInsert(c *shard.Cluster, s *Insert) (*Result, error) {
+// like the single-database path. When commit logs are installed, each
+// shard's appended rows accumulate into one insert record carrying the
+// assigned global ids — flushed even when the statement fails midway, so
+// replay reproduces exactly the rows that landed.
+func scatterInsert(c *shard.Cluster, s *Insert) (*Result, []func() error, error) {
 	if _, err := lookup(c.Shard(0), s.Table); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !c.Registered(s.Table) {
-		return nil, errUnmanaged(s.Table)
+		return nil, nil, errUnmanaged(s.Table)
+	}
+	logged := c.Shard(0).CommitLog() != nil
+	var rowsBy [][][]uint64
+	var globalsBy [][]int
+	if logged {
+		rowsBy = make([][][]uint64, c.N())
+		globalsBy = make([][]int, c.N())
+	}
+	flush := func() []func() error {
+		if !logged {
+			return nil
+		}
+		var waits []func() error
+		for i := 0; i < c.N(); i++ {
+			if len(rowsBy[i]) == 0 {
+				continue
+			}
+			wait, err := c.Shard(i).CommitLog().LogInsert(s.Table, rowsBy[i], globalsBy[i])
+			switch {
+			case err != nil:
+				err := err
+				waits = append(waits, func() error { return err })
+			case wait != nil:
+				waits = append(waits, wait)
+			}
+		}
+		return waits
 	}
 	for ri, row := range s.Rows {
 		sh := c.Partition(row[0])
 		t, err := lookup(c.Shard(sh), s.Table)
 		if err != nil {
-			return nil, err
+			return nil, flush(), err
 		}
 		local, err := t.Append(row...)
 		if err != nil {
-			return nil, fmt.Errorf("sql: row %d: %w", ri+1, err)
+			return nil, flush(), fmt.Errorf("sql: row %d: %w", ri+1, err)
 		}
-		if _, err := c.Assign(s.Table, sh, local); err != nil {
-			return nil, err
+		g, err := c.Assign(s.Table, sh, local)
+		if err != nil {
+			return nil, flush(), err
+		}
+		if logged {
+			rowsBy[sh] = append(rowsBy[sh], row)
+			globalsBy[sh] = append(globalsBy[sh], g)
 		}
 	}
-	return &Result{Affected: len(s.Rows)}, nil
+	return &Result{Affected: len(s.Rows)}, flush(), nil
 }
 
 // scatterAffected broadcasts a mutation and sums the affected counts.
 // Every target runs to completion into its own slot, so the merged error
-// (lowest shard) is independent of worker scheduling.
-func scatterAffected(c *shard.Cluster, targets []int, run func(db *engine.DB) (*Result, error)) (*Result, error) {
+// (lowest shard) is independent of worker scheduling. Each target logs
+// the statement with its own failure flag: even a failed target may have
+// partial effects, which deterministic replay reproduces.
+func scatterAffected(c *shard.Cluster, targets []int, src string, unstable bool, run func(db *engine.DB) (*Result, error)) (*Result, []func() error, error) {
 	if len(targets) == 1 {
-		return run(c.Shard(targets[0]))
+		db := c.Shard(targets[0])
+		res, err := run(db)
+		var waits []func() error
+		if w := logShard(db, src, err != nil, unstable); w != nil {
+			waits = []func() error{w}
+		}
+		return res, waits, err
 	}
 	type slot struct {
 		res *Result
@@ -343,12 +458,21 @@ func scatterAffected(c *shard.Cluster, targets []int, run func(db *engine.DB) (*
 		out[j].res, out[j].err = run(c.Shard(targets[j]))
 		return nil
 	})
+	var waits []func() error
+	if c.Shard(targets[0]).CommitLog() != nil {
+		waits = make([]func() error, 0, len(targets))
+		for j := range out {
+			if w := logShard(c.Shard(targets[j]), src, out[j].err != nil, unstable); w != nil {
+				waits = append(waits, w)
+			}
+		}
+	}
 	total := 0
 	for j := range out {
 		if out[j].err != nil {
-			return nil, out[j].err
+			return nil, waits, out[j].err
 		}
 		total += out[j].res.Affected
 	}
-	return &Result{Affected: total}, nil
+	return &Result{Affected: total}, waits, nil
 }

@@ -511,26 +511,28 @@ func scatterJoin(c *shard.Cluster, s *Select) (*Result, error) {
 // through the sharded path with per-shard tracing, then replays each
 // shard's stream on its own simulated channel: the statement finishes
 // when its slowest shard does, so the estimate is the max over shards.
-func scatterExplain(c *shard.Cluster, ex *Explain) (*Result, error) {
+func scatterExplain(c *shard.Cluster, ex *Explain, src string) (*Result, []func() error, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scatter over %d shards\n", c.N())
 	describe(c.Shard(0), ex.Stmt, &b)
 
 	if !ex.Analyze {
-		return &Result{Message: strings.TrimRight(b.String(), "\n")}, nil
+		return &Result{Message: strings.TrimRight(b.String(), "\n")}, nil, nil
 	}
 
 	targets := allShards(c)
 	for _, i := range targets {
 		c.Shard(i).StartTrace()
 	}
-	_, runErr := dispatchSharded(c, ex.Stmt, targets)
+	// The inner dispatch logs any mutation under the inner statement's own
+	// source text: replay must re-execute the mutation, not re-time it.
+	_, waits, runErr := dispatchSharded(c, ex.Stmt, innerSrc(src), targets)
 	streams := make([]trace.Stream, c.N())
 	for _, i := range targets {
 		streams[i] = c.Shard(i).StopTrace()
 	}
 	if runErr != nil {
-		return nil, runErr
+		return nil, waits, runErr
 	}
 	total := 0
 	for _, st := range streams {
@@ -545,11 +547,11 @@ func scatterExplain(c *shard.Cluster, ex *Explain) (*Result, error) {
 			}
 			dual, err := sim.RunOn(config.RCNVM(), []trace.Stream{st})
 			if err != nil {
-				return nil, err
+				return nil, waits, err
 			}
 			row, err := sim.RunOn(config.RCNVM(), []trace.Stream{engine.RowOnlyStream(st)})
 			if err != nil {
-				return nil, err
+				return nil, waits, err
 			}
 			if dual.TimePs > dualMax {
 				dualMax = dual.TimePs
@@ -561,5 +563,5 @@ func scatterExplain(c *shard.Cluster, ex *Explain) (*Result, error) {
 		fmt.Fprintf(&b, "; est. %.1f us with column accesses, %.1f us row-only (%.2fx), slowest shard",
 			float64(dualMax)/1e6, float64(rowMax)/1e6, float64(rowMax)/float64(dualMax))
 	}
-	return &Result{Message: b.String()}, nil
+	return &Result{Message: b.String()}, waits, nil
 }

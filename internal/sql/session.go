@@ -2,7 +2,9 @@ package sql
 
 import (
 	"fmt"
+	"strings"
 	"time"
+	"unicode"
 
 	"rcnvm/internal/engine"
 	"rcnvm/internal/obs"
@@ -15,6 +17,15 @@ import (
 // against a shared database go through ExecLocked or ExecTraced, which
 // hold the lock for the whole statement. Plain Exec/Run stay unlocked for
 // single-threaded callers.
+//
+// It is also the durability boundary: when a commit log is installed on
+// the database (engine.DB.SetCommitLog, done by internal/durable), every
+// mutating statement is appended to the WAL while the exclusive lock is
+// still held — so per-log record order equals commit order — and the
+// caller then waits for the fsync AFTER releasing the lock, so concurrent
+// statements batch their fsyncs behind the log's single flusher instead
+// of serializing on the disk. With no log installed (the default), the
+// paths below are unchanged: one nil check, no allocation.
 
 // ReadOnly reports whether a statement only reads database state, and may
 // therefore run under the shared (read) lock concurrently with other
@@ -31,10 +42,81 @@ func ReadOnly(st Statement) bool {
 	}
 }
 
+// mutates reports whether a statement changes database state that
+// recovery must reproduce. EXPLAIN ANALYZE executes its inner statement,
+// so it mutates exactly when the inner statement does.
+func mutates(st Statement) bool {
+	switch s := st.(type) {
+	case *CreateTable, *Insert, *Update, *Delete:
+		return true
+	case *Explain:
+		return s.Analyze && mutates(s.Stmt)
+	}
+	return false
+}
+
+// innerSrc strips the EXPLAIN [ANALYZE] prefix off a statement's source,
+// leaving the inner statement's own text. The WAL records that inner text
+// for an EXPLAIN ANALYZE over a mutation: replay must re-execute the
+// mutation, not re-time it.
+func innerSrc(src string) string {
+	s := trimKeyword(strings.TrimSpace(src), "EXPLAIN")
+	return trimKeyword(s, "ANALYZE")
+}
+
+// trimKeyword removes a leading keyword (case-insensitive, must be
+// followed by whitespace) and the whitespace after it.
+func trimKeyword(s, kw string) string {
+	if len(s) > len(kw) && strings.EqualFold(s[:len(kw)], kw) && unicode.IsSpace(rune(s[len(kw)])) {
+		return strings.TrimSpace(s[len(kw):])
+	}
+	return s
+}
+
+// logShard appends one statement record on db's commit log. Nil-safe and
+// allocation-free when no log is installed. An append failure surfaces
+// through the returned wait: the statement has already executed, so a
+// logging failure is a durability failure, not an execution failure.
+func logShard(db *engine.DB, src string, failed, unstable bool) func() error {
+	l := db.CommitLog()
+	if l == nil {
+		return nil
+	}
+	wait, err := l.LogStatement(src, failed, unstable)
+	if err != nil {
+		return func() error { return err }
+	}
+	return wait
+}
+
+// logCommit records a mutating statement on a single database's commit
+// log (the unsharded / 1-shard path). Call with the exclusive lock held,
+// immediately after Run; execErr marks failed statements so recovery
+// replays their partial effects leniently.
+func logCommit(db *engine.DB, st Statement, src string, execErr error) func() error {
+	if db.CommitLog() == nil || !mutates(st) {
+		return nil
+	}
+	if ex, ok := st.(*Explain); ok && ex.Analyze {
+		src = innerSrc(src)
+	}
+	return logShard(db, src, execErr != nil, false)
+}
+
+// awaitDurable runs a durability wait (nil = already durable). Call after
+// releasing the statement lock.
+func awaitDurable(wait func() error) error {
+	if wait == nil {
+		return nil
+	}
+	return wait()
+}
+
 // ExecLocked parses and executes one statement while holding db's lock in
 // the mode the statement requires: the read lock for read-only statements
 // (concurrent SELECTs proceed in parallel), the write lock for everything
-// that mutates.
+// that mutates. Mutations are WAL-logged under the lock and waited for
+// durability after it.
 func ExecLocked(db *engine.DB, src string) (*Result, error) {
 	st, err := Parse(src)
 	if err != nil {
@@ -43,16 +125,22 @@ func ExecLocked(db *engine.DB, src string) (*Result, error) {
 	if ReadOnly(st) {
 		db.RLock()
 		defer db.RUnlock()
-	} else {
-		db.Lock()
-		defer db.Unlock()
+		return Run(db, st)
 	}
-	return Run(db, st)
+	db.Lock()
+	res, err := Run(db, st)
+	wait := logCommit(db, st, src, err)
+	db.Unlock()
+	if werr := awaitDurable(wait); werr != nil && err == nil {
+		return nil, werr
+	}
+	return res, err
 }
 
 // ExecObserved is ExecLocked with wall-clock phase spans (parse,
-// lock_wait, exec) recorded under process obs.ProcQuery on lane tid. A nil
-// recorder degrades to plain ExecLocked.
+// lock_wait, exec, and wal_wait when a commit log is installed) recorded
+// under process obs.ProcQuery on lane tid. A nil recorder degrades to
+// plain ExecLocked.
 func ExecObserved(db *engine.DB, src string, rec *obs.Recorder, tid int64) (*Result, error) {
 	if rec == nil {
 		return ExecLocked(db, src)
@@ -67,14 +155,27 @@ func ExecObserved(db *engine.DB, src string, rec *obs.Recorder, tid int64) (*Res
 	if ReadOnly(st) {
 		db.RLock()
 		defer db.RUnlock()
-	} else {
-		db.Lock()
-		defer db.Unlock()
+		rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
+		tExec := time.Now()
+		res, err := Run(db, st)
+		rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
+		return res, err
 	}
+	db.Lock()
 	rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
 	tExec := time.Now()
 	res, err := Run(db, st)
+	wait := logCommit(db, st, src, err)
 	rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
+	db.Unlock()
+	if wait != nil {
+		tWal := time.Now()
+		werr := wait()
+		rec.WallSince(obs.ProcQuery, "wal_wait", obs.CatSQL, tid, tWal)
+		if werr != nil && err == nil {
+			return nil, werr
+		}
+	}
 	return res, err
 }
 
@@ -95,13 +196,17 @@ func ExecTracedObserved(db *engine.DB, src string, rec *obs.Recorder, tid int64)
 	}
 	tLock := time.Now()
 	db.Lock()
-	defer db.Unlock()
 	rec.WallSince(obs.ProcQuery, "lock_wait", obs.CatSQL, tid, tLock)
 	tExec := time.Now()
 	db.StartTrace()
 	res, err := Run(db, st)
 	stream := db.StopTrace()
+	wait := logCommit(db, st, src, err)
 	rec.WallSince(obs.ProcQuery, "exec", obs.CatSQL, tid, tExec)
+	db.Unlock()
+	if werr := awaitDurable(wait); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -122,10 +227,14 @@ func ExecTraced(db *engine.DB, src string) (*Result, trace.Stream, error) {
 		return nil, nil, fmt.Errorf("sql: EXPLAIN already reports timing; run it untraced")
 	}
 	db.Lock()
-	defer db.Unlock()
 	db.StartTrace()
 	res, err := Run(db, st)
 	stream := db.StopTrace()
+	wait := logCommit(db, st, src, err)
+	db.Unlock()
+	if werr := awaitDurable(wait); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return nil, nil, err
 	}
