@@ -8,11 +8,13 @@ package rcnvm
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"rcnvm/internal/benchjson"
 	"rcnvm/internal/circuit"
 	"rcnvm/internal/config"
 	"rcnvm/internal/engine"
@@ -105,6 +107,142 @@ func BenchmarkServerThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 		})
 	}
+}
+
+// BenchmarkServerBatch is the committed benchmark behind the batching
+// acceptance bar: end-to-end statements/sec through one TCP session at
+// batch sizes 1, 8 and 32, on the point-statement OLTP hot path (point
+// SELECT alternating with point UPDATE). The table is kept small (32
+// rows) so per-statement engine time stays minor and the measurement
+// isolates what batching amortizes — the round trip, the pool admission
+// and the lock round per statement. A batch pays each of those once for
+// the whole group, so throughput must scale well past 2x by size 32;
+// results/baselines pins that ratio.
+func BenchmarkServerBatch(b *testing.B) {
+	const tableRows = 32
+	// stmtsPerSec collects each size's final throughput; with -benchtime
+	// iteration scaling a sub-benchmark runs more than once and the last
+	// (largest b.N) run wins. When BENCH_JSON_DIR is set the collected
+	// numbers are written as BENCH_server_batch.json for the perf gate.
+	stmtsPerSec := map[int]float64{}
+	sizes := []int{1, 8, 32}
+	for _, size := range sizes {
+		size := size
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			db, err := engine.Open(engine.DualAddress)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sql.Exec(db, "CREATE TABLE bench (id, grp, val) CAPACITY 4096"); err != nil {
+				b.Fatal(err)
+			}
+			ins := "INSERT INTO bench VALUES "
+			for i := 0; i < tableRows; i++ {
+				if i > 0 {
+					ins += ","
+				}
+				ins += fmt.Sprintf("(%d,%d,%d)", i, i%8, i*3)
+			}
+			if _, err := sql.Exec(db, ins); err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(db, server.Options{})
+			addr, err := srv.ListenTCP("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			c, err := server.Dial(addr.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			batch := make([]string, 0, size)
+			b.ResetTimer()
+			for issued := 0; issued < b.N; {
+				n := size
+				if rem := b.N - issued; rem < n {
+					n = rem
+				}
+				batch = batch[:0]
+				for j := 0; j < n; j++ {
+					id := (issued + j) % tableRows
+					if (issued+j)%2 == 0 {
+						batch = append(batch, fmt.Sprintf("SELECT val FROM bench WHERE id = %d", id))
+					} else {
+						batch = append(batch, fmt.Sprintf("UPDATE bench SET val = %d WHERE id = %d", id*7, id))
+					}
+				}
+				if size == 1 {
+					if _, err := c.Query(batch[0]); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					rs, err := c.Batch(batch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range rs {
+						if r.Error != nil {
+							b.Fatal(r.Error)
+						}
+					}
+				}
+				issued += n
+			}
+			b.StopTimer()
+			qps := float64(b.N) / b.Elapsed().Seconds()
+			stmtsPerSec[size] = qps
+			b.ReportMetric(qps, "stmts/s")
+		})
+	}
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" {
+		writeServerBatchJSON(b, dir, sizes, stmtsPerSec)
+	}
+}
+
+// writeServerBatchJSON emits the batching benchmark's machine-readable
+// result. Raw stmts/s values travel along for context, but the committed
+// baseline pins only the speedup ratios — ratios hold across machines of
+// different absolute speed, which is what a committed perf gate needs.
+func writeServerBatchJSON(b *testing.B, dir string, sizes []int, stmtsPerSec map[int]float64) {
+	b.Helper()
+	var metrics []benchjson.Metric
+	for _, size := range sizes {
+		metrics = append(metrics, benchjson.Metric{
+			Name:   fmt.Sprintf("qps_batch%d", size),
+			Value:  stmtsPerSec[size],
+			Unit:   "stmts/s",
+			Better: benchjson.Higher,
+		})
+	}
+	if base := stmtsPerSec[1]; base > 0 {
+		for _, size := range sizes {
+			if size == 1 {
+				continue
+			}
+			metrics = append(metrics, benchjson.Metric{
+				Name:   fmt.Sprintf("speedup_batch%d", size),
+				Value:  stmtsPerSec[size] / base,
+				Unit:   "x",
+				Better: benchjson.Higher,
+			})
+		}
+	}
+	path, err := benchjson.Write(dir, &benchjson.Result{
+		Name:    "server_batch",
+		Config:  map[string]any{"table_rows": 32, "batch_sizes": sizes},
+		Metrics: metrics,
+	})
+	if err != nil {
+		b.Fatalf("BENCH_JSON_DIR: %v", err)
+	}
+	b.Logf("wrote %s", path)
 }
 
 // BenchmarkFig04AreaModel evaluates the Figure 4 area-overhead sweep.

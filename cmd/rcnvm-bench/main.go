@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"rcnvm/internal/benchjson"
 	"rcnvm/internal/experiments"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	shardsFlag := flag.String("shards", "1,2,4", "cluster sizes for the shard-scaling sweep (-run shard); first is the determinism baseline")
 	timingFlag := flag.Bool("timing", true, "print per-experiment wall-clock timing to stderr")
 	telemetryFlag := flag.Bool("telemetry", false, "append a per-bank telemetry report for the mixed workload on RC-NVM")
+	benchJSON := flag.String("bench-json", "", "write machine-readable per-experiment wall-clock results as BENCH_experiments.json to this directory (\"\" disables)")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -83,6 +85,7 @@ func main() {
 	}
 
 	total := time.Duration(0)
+	var benchMetrics []benchjson.Metric
 	// step runs one experiment if selected, timing it so sweep-level perf
 	// regressions are visible without polluting the stdout tables.
 	step := func(id string, fn func() error) {
@@ -99,6 +102,9 @@ func main() {
 		if *timingFlag {
 			fmt.Fprintf(os.Stderr, "timing  %-7s %8.2fs\n", id, d.Seconds())
 		}
+		benchMetrics = append(benchMetrics, benchjson.Metric{
+			Name: id + "_seconds", Value: d.Seconds(), Unit: "s", Better: benchjson.Lower,
+		})
 	}
 
 	step("table1", func() error {
@@ -210,5 +216,23 @@ func main() {
 	if *timingFlag {
 		fmt.Fprintf(os.Stderr, "timing  total   %8.2fs (workers=%d)\n",
 			total.Seconds(), experiments.Workers(workers))
+	}
+	if *benchJSON != "" {
+		path, err := benchjson.Write(*benchJSON, &benchjson.Result{
+			Name: "experiments",
+			Config: map[string]any{
+				"scale":   *scaleFlag,
+				"run":     *runFlag,
+				"workers": experiments.Workers(workers),
+			},
+			Metrics: append(benchMetrics, benchjson.Metric{
+				Name: "total_seconds", Value: total.Seconds(), Unit: "s", Better: benchjson.Lower,
+			}),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rcnvm-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rcnvm-bench: wrote %s\n", path)
 	}
 }

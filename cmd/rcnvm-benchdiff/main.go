@@ -1,0 +1,160 @@
+// Command rcnvm-benchdiff is the perf-regression gate: it compares a
+// directory of freshly-emitted BENCH_<name>.json results against the
+// committed baselines and exits non-zero when any baseline metric
+// regressed past its tolerance band (or an absolute floor/ceiling).
+//
+//	$ rcnvm-benchdiff results/baselines /tmp/bench-out
+//
+// Every baseline benchmark must be present in the current directory and
+// every baseline metric present in its current result — a benchmark or
+// metric silently vanishing fails the gate rather than passing by
+// omission.
+//
+// -self-test proves the gate actually trips: it synthesizes a degraded
+// copy of every baseline (each metric pushed just past its tolerance in
+// the bad direction), runs the comparison, and exits 0 only if EVERY
+// injected regression was caught. CI runs this before the real diff so a
+// broken comparator can never wave regressions through.
+//
+// -update is the escape hatch for intentional performance changes: it
+// copies the current results over the baselines so the diff lands in the
+// commit for review. There is deliberately no flag that loosens a
+// tolerance at diff time — tolerances live in the committed baseline
+// files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rcnvm/internal/benchjson"
+)
+
+func main() {
+	selfTest := flag.Bool("self-test", false, "verify the gate trips on injected regressions, then exit")
+	update := flag.Bool("update", false, "overwrite the baselines with the current results (intentional perf change)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rcnvm-benchdiff [-self-test] [-update] <baseline-dir> [current-dir]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseDir := flag.Arg(0)
+	baselines, err := benchjson.LoadDir(baseDir)
+	if err != nil {
+		fatal(err)
+	}
+	if len(baselines) == 0 {
+		fatal(fmt.Errorf("no BENCH_*.json baselines in %s", baseDir))
+	}
+
+	if *selfTest {
+		os.Exit(runSelfTest(baselines))
+	}
+
+	if flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	curDir := flag.Arg(1)
+
+	if *update {
+		for _, b := range baselines {
+			cur, err := benchjson.Load(curDir + "/" + benchjson.Filename(b.Name))
+			if err != nil {
+				fatal(fmt.Errorf("-update: %w", err))
+			}
+			// Carry the comparison contract forward: the run emits values,
+			// the baseline owns directions, tolerances and floors.
+			for i := range cur.Metrics {
+				if bm := b.Metric(cur.Metrics[i].Name); bm != nil {
+					cur.Metrics[i].Better = bm.Better
+					cur.Metrics[i].TolerancePct = bm.TolerancePct
+					cur.Metrics[i].Min = bm.Min
+					cur.Metrics[i].Max = bm.Max
+				}
+			}
+			path, err := benchjson.Write(baseDir, cur)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("updated %s\n", path)
+		}
+		return
+	}
+
+	failed := false
+	for _, b := range baselines {
+		cur, err := benchjson.Load(curDir + "/" + benchjson.Filename(b.Name))
+		if err != nil {
+			fmt.Printf("REGRESSED %-14s (missing current result: %v)\n", b.Name, err)
+			failed = true
+			continue
+		}
+		for _, d := range benchjson.Compare(b, cur) {
+			fmt.Println(d)
+			if d.Regressed {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Println("\nperf gate: REGRESSIONS FOUND (run with -update after an intentional change)")
+		os.Exit(1)
+	}
+	fmt.Println("\nperf gate: ok")
+}
+
+// runSelfTest degrades every baseline metric just past its tolerance band
+// and checks the comparator flags every one. Returns the process exit
+// code: 0 when the gate provably trips.
+func runSelfTest(baselines []*benchjson.Result) int {
+	ok := true
+	for _, b := range baselines {
+		bad := &benchjson.Result{Name: b.Name, Metrics: make([]benchjson.Metric, len(b.Metrics))}
+		copy(bad.Metrics, b.Metrics)
+		for i := range bad.Metrics {
+			tol := bad.Metrics[i].TolerancePct
+			if tol <= 0 {
+				tol = benchjson.DefaultTolerancePct
+			}
+			// Push 2x past the band in the bad direction.
+			f := 1 - 2*tol/100
+			if bad.Metrics[i].Better == benchjson.Lower {
+				f = 1 + 2*tol/100
+			}
+			bad.Metrics[i].Value *= f
+		}
+		caught := len(benchjson.Regressions(benchjson.Compare(b, bad)))
+		if caught != len(b.Metrics) {
+			fmt.Printf("self-test: %s: gate caught %d/%d injected regressions\n",
+				b.Name, caught, len(b.Metrics))
+			ok = false
+			continue
+		}
+		// And an unmodified run must pass clean.
+		if n := len(benchjson.Regressions(benchjson.Compare(b, b))); n != 0 {
+			fmt.Printf("self-test: %s: identical run flagged %d false regressions\n", b.Name, n)
+			ok = false
+			continue
+		}
+		fmt.Printf("self-test: %s: %d/%d injected regressions caught, identical run clean\n",
+			b.Name, caught, len(b.Metrics))
+	}
+	if !ok {
+		fmt.Println("self-test: FAILED — the perf gate does not trip; fix it before trusting any diff")
+		return 1
+	}
+	fmt.Println("self-test: ok")
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcnvm-benchdiff:", err)
+	os.Exit(1)
+}

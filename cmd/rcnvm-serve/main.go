@@ -50,9 +50,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"rcnvm/internal/benchjson"
 	"rcnvm/internal/durable"
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
@@ -72,6 +76,10 @@ func main() {
 		loadgen  = flag.Int("loadgen", 0, "run the load generator with N clients against an in-process server, then exit")
 		duration = flag.Duration("duration", 3*time.Second, "load-generator run length")
 		timedEv  = flag.Int("timing-every", 0, "load generator: request timing attribution every n-th query (0 = never)")
+		batchN   = flag.Int("batch", 0, "load generator: statements per batch request (0/1 = one statement per round trip)")
+		planSize = flag.Int("plan-cache", 0, "query-plan cache capacity in statement shapes (0 = default 4096, negative disables)")
+		sweep    = flag.String("batch-sweep", "", "run the load generator once per comma-separated batch size (e.g. \"1,8,32\"), emit BENCH_batch_sweep.json to -bench-out, then exit; uses -loadgen clients (default 8)")
+		benchOut = flag.String("bench-out", ".", "directory for machine-readable BENCH_*.json results")
 
 		dataDir  = flag.String("data-dir", "", "durability directory: per-shard write-ahead log + checkpoints; kill -9 loses nothing acknowledged (\"\" = volatile)")
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (group commit), interval, none")
@@ -164,21 +172,31 @@ func main() {
 	}
 
 	srv := server.NewCluster(cluster, server.Options{
-		Workers:      *workers,
-		Queue:        *queue,
-		QueryTimeout: *queryTimeout,
-		TraceEvery:   *traceEvery,
-		TraceSink:    traceSink,
-		Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
-		Durable:      store,
+		Workers:       *workers,
+		Queue:         *queue,
+		PlanCacheSize: *planSize,
+		QueryTimeout:  *queryTimeout,
+		TraceEvery:    *traceEvery,
+		TraceSink:     traceSink,
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Durable:       store,
 	})
 
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}
 
+	if *sweep != "" {
+		clients := *loadgen
+		if clients <= 0 {
+			clients = 8
+		}
+		runBatchSweep(srv, clients, *duration, *sweep, *benchOut, *shards, *fsyncPol, *dataDir != "")
+		closeStore(store)
+		return
+	}
 	if *loadgen > 0 {
-		runLoadgen(srv, *loadgen, *duration, *timedEv)
+		runLoadgen(srv, *loadgen, *duration, *timedEv, *batchN)
 		closeStore(store)
 		return
 	}
@@ -221,7 +239,7 @@ func closeStore(store *durable.Store) {
 	}
 }
 
-func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv int) {
+func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv, batch int) {
 	addr, err := srv.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		fatal(err)
@@ -231,6 +249,7 @@ func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv
 		Clients:     clients,
 		Duration:    duration,
 		TimingEvery: timedEv,
+		Batch:       batch,
 		Table:       "load",
 	})
 	if err != nil {
@@ -243,6 +262,98 @@ func runLoadgen(srv *server.Server, clients int, duration time.Duration, timedEv
 		fatal(err)
 	}
 	fmt.Printf("server stats:\n%s\n", out)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+}
+
+// runBatchSweep drives the in-process server once per batch size and emits
+// the machine-readable BENCH_batch_sweep.json consumed by
+// scripts/bench_compare.sh: per-size throughput, round-trip latency
+// quantiles and allocations per statement, plus the batchN-vs-batch1
+// speedup ratios (machine-portable, unlike raw qps — the committed
+// baseline keys its hard floor off those).
+func runBatchSweep(srv *server.Server, clients int, duration time.Duration, sweep, outDir string, shards int, fsyncPol string, durableOn bool) {
+	var sizes []int
+	for _, part := range strings.Split(sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("-batch-sweep: bad batch size %q", part))
+		}
+		sizes = append(sizes, n)
+	}
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	res := &benchjson.Result{
+		Name: "batch_sweep",
+		Config: map[string]any{
+			"clients":     clients,
+			"duration":    duration.String(),
+			"shards":      shards,
+			"durable":     durableOn,
+			"fsync":       fsyncPol,
+			"batch_sizes": sizes,
+		},
+	}
+	qps := make(map[int]float64)
+	for _, n := range sizes {
+		// Level the playing field: each size starts from an empty table,
+		// otherwise the mix's aggregate scans get more expensive for every
+		// later size as the INSERTs accumulate.
+		if resp := srv.Do(&server.Request{Query: "DELETE FROM load"}); resp.Error != nil {
+			fatal(fmt.Errorf("-batch-sweep: reset table: %s", resp.Error.Message))
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		rep, err := server.RunLoad(server.LoadSpec{
+			Addr:     addr.String(),
+			Clients:  clients,
+			Duration: duration,
+			Batch:    n,
+			Table:    "load",
+		})
+		if err != nil {
+			fatal(err)
+		}
+		runtime.ReadMemStats(&m1)
+		fmt.Printf("batch=%-4d %s\n", n, rep)
+		if rep.Queries == 0 {
+			fatal(fmt.Errorf("-batch-sweep: batch=%d completed no statements", n))
+		}
+		// Client and server share the process in loadgen mode, so the
+		// Mallocs delta is the whole round trip's allocation cost.
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(rep.Queries)
+		qps[n] = rep.QPS
+		res.Metrics = append(res.Metrics,
+			benchjson.Metric{Name: fmt.Sprintf("qps_batch%d", n), Value: rep.QPS, Unit: "stmt/s", Better: benchjson.Higher},
+			benchjson.Metric{Name: fmt.Sprintf("p50_batch%d_us", n), Value: float64(rep.P50.Microseconds()), Unit: "us", Better: benchjson.Lower},
+			benchjson.Metric{Name: fmt.Sprintf("p99_batch%d_us", n), Value: float64(rep.P99.Microseconds()), Unit: "us", Better: benchjson.Lower},
+			benchjson.Metric{Name: fmt.Sprintf("allocs_per_stmt_batch%d", n), Value: allocs, Unit: "allocs", Better: benchjson.Lower},
+		)
+	}
+	if base, ok := qps[1]; ok && base > 0 {
+		for _, n := range sizes {
+			if n == 1 {
+				continue
+			}
+			res.Metrics = append(res.Metrics, benchjson.Metric{
+				Name:   fmt.Sprintf("speedup_batch%d", n),
+				Value:  qps[n] / base,
+				Unit:   "x",
+				Better: benchjson.Higher,
+			})
+		}
+	}
+	path, err := benchjson.Write(outDir, res)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rcnvm-serve: wrote %s\n", path)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,206 @@
+// Package benchjson is the machine-readable side of the perf-regression
+// harness: benchmark runs emit BENCH_<name>.json files, committed baselines
+// live under results/baselines/, and Compare diffs a current run against
+// its baseline metric by metric.
+//
+// The comparison contract lives in the BASELINE file, not the tool: every
+// baseline metric carries its improvement direction ("higher" or "lower"
+// is better) and a tolerance band in percent, so bumping a tolerance or a
+// floor is a reviewed change to a committed file, never a tool flag. A
+// metric may additionally carry an absolute floor (Min) or ceiling (Max)
+// that the current value must respect regardless of the baseline value —
+// that is how hard acceptance criteria (e.g. "batched throughput must stay
+// >= 2x unbatched") are pinned.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DefaultTolerancePct is the regression band applied when a baseline
+// metric does not set one. Wide enough for shared-CI noise on wall-clock
+// metrics; deterministic metrics (counters, ratios) should set a tighter
+// band explicitly.
+const DefaultTolerancePct = 25
+
+// Directions for Metric.Better.
+const (
+	Higher = "higher"
+	Lower  = "lower"
+)
+
+// Metric is one measured value with its comparison contract.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+	// Better is "higher" or "lower": which direction is an improvement.
+	Better string `json:"better"`
+	// TolerancePct is the allowed regression from this (baseline) value in
+	// percent before the gate trips. 0 means DefaultTolerancePct.
+	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+	// Min, when non-zero, is an absolute floor the CURRENT value must meet
+	// independent of the baseline value (only meaningful with
+	// Better=="higher").
+	Min float64 `json:"min,omitempty"`
+	// Max, when non-zero, is the mirror-image absolute ceiling for
+	// Better=="lower" metrics.
+	Max float64 `json:"max,omitempty"`
+}
+
+// Result is one benchmark run: the payload of a BENCH_<name>.json file.
+type Result struct {
+	// Name identifies the benchmark; the file is BENCH_<Name>.json.
+	Name string `json:"name"`
+	// Config records the knobs the run used (shards, clients, batch sizes,
+	// fsync policy...) so a diff against a differently-configured baseline
+	// is visibly apples-to-oranges.
+	Config  map[string]any `json:"config,omitempty"`
+	Metrics []Metric       `json:"metrics"`
+}
+
+// Metric returns the named metric, or nil.
+func (r *Result) Metric(name string) *Metric {
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Filename is the canonical file name for a benchmark result.
+func Filename(name string) string { return "BENCH_" + name + ".json" }
+
+// Write writes r to dir/BENCH_<r.Name>.json (pretty-printed, trailing
+// newline, so committed baselines diff cleanly).
+func Write(dir string, r *Result) (string, error) {
+	path := filepath.Join(dir, Filename(r.Name))
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Load reads one result file.
+func Load(path string) (*Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := new(Result)
+	if err := json.Unmarshal(raw, r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// LoadDir loads every BENCH_*.json in dir, sorted by name.
+func LoadDir(dir string) ([]*Result, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Result, 0, len(paths))
+	for _, p := range paths {
+		r, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Delta is the comparison of one metric between baseline and current.
+type Delta struct {
+	Benchmark string
+	Metric    string
+	Base      float64
+	Cur       float64
+	// ChangePct is the signed relative change from Base ((Cur-Base)/Base,
+	// in percent); its sign is direction-agnostic — read Regressed.
+	ChangePct float64
+	Regressed bool
+	// Reason says why the gate tripped ("" when it did not).
+	Reason string
+}
+
+func (d Delta) String() string {
+	status := "ok        "
+	if d.Regressed {
+		status = "REGRESSED "
+	}
+	s := fmt.Sprintf("%s%-14s %-24s %14.4g -> %14.4g  (%+.1f%%)",
+		status, d.Benchmark, d.Metric, d.Base, d.Cur, d.ChangePct)
+	if d.Reason != "" {
+		s += "  [" + d.Reason + "]"
+	}
+	return s
+}
+
+// Compare diffs a current run against its committed baseline. Every
+// baseline metric must exist in the current run (a vanished metric is a
+// regression: a benchmark silently dropping a measurement must not pass).
+// Extra current metrics are ignored — adding measurements never trips the
+// gate, committing them to the baseline starts enforcing them.
+func Compare(baseline, current *Result) []Delta {
+	deltas := make([]Delta, 0, len(baseline.Metrics))
+	for _, bm := range baseline.Metrics {
+		d := Delta{Benchmark: baseline.Name, Metric: bm.Name, Base: bm.Value}
+		cm := current.Metric(bm.Name)
+		if cm == nil {
+			d.Regressed = true
+			d.Reason = "metric missing from current run"
+			deltas = append(deltas, d)
+			continue
+		}
+		d.Cur = cm.Value
+		if bm.Value != 0 {
+			d.ChangePct = (cm.Value - bm.Value) / bm.Value * 100
+		}
+		tol := bm.TolerancePct
+		if tol <= 0 {
+			tol = DefaultTolerancePct
+		}
+		switch bm.Better {
+		case Lower:
+			if cm.Value > bm.Value*(1+tol/100) {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("above baseline by more than %g%%", tol)
+			}
+			if bm.Max > 0 && cm.Value > bm.Max {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("above absolute ceiling %g", bm.Max)
+			}
+		default: // Higher (the zero value defaults to higher-is-better)
+			if cm.Value < bm.Value*(1-tol/100) {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("below baseline by more than %g%%", tol)
+			}
+			if bm.Min > 0 && cm.Value < bm.Min {
+				d.Regressed = true
+				d.Reason = fmt.Sprintf("below absolute floor %g", bm.Min)
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters a comparison down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

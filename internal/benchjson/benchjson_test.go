@@ -1,0 +1,132 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func res(name string, metrics ...Metric) *Result {
+	return &Result{Name: name, Metrics: metrics}
+}
+
+func regressions(t *testing.T, base, cur *Result) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, d := range Compare(base, cur) {
+		if d.Regressed {
+			out[d.Metric] = d.Reason
+		}
+	}
+	return out
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base := res("b",
+		Metric{Name: "qps", Value: 100, Better: Higher, TolerancePct: 10},
+		Metric{Name: "p99", Value: 100, Better: Lower, TolerancePct: 10},
+	)
+
+	// Inside the band: ok in both directions.
+	ok := res("b",
+		Metric{Name: "qps", Value: 91},
+		Metric{Name: "p99", Value: 109},
+	)
+	if got := regressions(t, base, ok); len(got) != 0 {
+		t.Fatalf("inside tolerance flagged: %v", got)
+	}
+
+	// Past the band in the bad direction: both trip.
+	bad := res("b",
+		Metric{Name: "qps", Value: 89},
+		Metric{Name: "p99", Value: 111},
+	)
+	if got := regressions(t, base, bad); len(got) != 2 {
+		t.Fatalf("past tolerance not flagged: %v", got)
+	}
+
+	// Improvements never trip, however large.
+	better := res("b",
+		Metric{Name: "qps", Value: 1000},
+		Metric{Name: "p99", Value: 1},
+	)
+	if got := regressions(t, base, better); len(got) != 0 {
+		t.Fatalf("improvement flagged: %v", got)
+	}
+}
+
+func TestCompareAbsoluteBounds(t *testing.T) {
+	// The floor binds even when the relative change is within tolerance:
+	// baseline 2.1 with 50% tolerance allows 1.05 relatively, but the
+	// floor of 2.0 still trips.
+	base := res("b", Metric{Name: "speedup", Value: 2.1, Better: Higher, TolerancePct: 50, Min: 2.0})
+	if got := regressions(t, base, res("b", Metric{Name: "speedup", Value: 1.9})); len(got) != 1 {
+		t.Fatalf("below-floor value passed: %v", got)
+	}
+	if got := regressions(t, base, res("b", Metric{Name: "speedup", Value: 2.05})); len(got) != 0 {
+		t.Fatalf("above-floor value flagged: %v", got)
+	}
+
+	ceil := res("b", Metric{Name: "lat", Value: 50, Better: Lower, TolerancePct: 100, Max: 80})
+	if got := regressions(t, ceil, res("b", Metric{Name: "lat", Value: 81})); len(got) != 1 {
+		t.Fatalf("above-ceiling value passed: %v", got)
+	}
+}
+
+func TestCompareMissingAndExtraMetrics(t *testing.T) {
+	base := res("b", Metric{Name: "qps", Value: 100, Better: Higher})
+	// A baseline metric vanished from the current run: regression.
+	if got := regressions(t, base, res("b")); got["qps"] == "" {
+		t.Fatalf("missing metric not flagged: %v", got)
+	}
+	// Extra current metrics are ignored.
+	cur := res("b",
+		Metric{Name: "qps", Value: 100},
+		Metric{Name: "new_measurement", Value: 1},
+	)
+	if got := regressions(t, base, cur); len(got) != 0 {
+		t.Fatalf("extra metric tripped the gate: %v", got)
+	}
+}
+
+func TestCompareDefaultDirectionAndTolerance(t *testing.T) {
+	// Zero-valued Better defaults to higher-is-better, zero TolerancePct
+	// to DefaultTolerancePct.
+	base := res("b", Metric{Name: "m", Value: 100})
+	edge := 100 * (1 - float64(DefaultTolerancePct)/100)
+	if got := regressions(t, base, res("b", Metric{Name: "m", Value: edge + 1})); len(got) != 0 {
+		t.Fatalf("inside default tolerance flagged: %v", got)
+	}
+	if got := regressions(t, base, res("b", Metric{Name: "m", Value: edge - 1})); len(got) != 1 {
+		t.Fatalf("past default tolerance passed: %v", got)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := &Result{
+		Name:   "demo",
+		Config: map[string]any{"shards": 4.0},
+		Metrics: []Metric{
+			{Name: "qps", Value: 123.5, Unit: "stmts/s", Better: Higher, TolerancePct: 30, Min: 100},
+		},
+	}
+	path, err := Write(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != Filename("demo") {
+		t.Fatalf("wrote %s, want %s", path, Filename("demo"))
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Metric("qps")
+	if m == nil || m.Value != 123.5 || m.Better != Higher || m.TolerancePct != 30 || m.Min != 100 {
+		t.Fatalf("round trip lost the contract: %+v", m)
+	}
+	all, err := LoadDir(dir)
+	if err != nil || len(all) != 1 || all[0].Name != "demo" {
+		t.Fatalf("LoadDir: %v %v", all, err)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"rcnvm/internal/sql"
 )
 
 // ErrSessionBroken marks a session whose request/response framing can no
@@ -73,6 +75,20 @@ func (c *Client) Query(q string) (*Response, error) {
 // QueryTimed executes one statement with RC-NVM timing attribution.
 func (c *Client) QueryTimed(q string) (*Response, error) {
 	return c.do(Request{Query: q, Timing: true})
+}
+
+// Batch executes stmts in order as one batch request: one admission, one
+// shard-lock round and one group-commit wait server-side. The returned
+// slice holds one response per statement; a statement's failure fills its
+// slot's Error and the batch continues, so callers must check each slot.
+// The returned error covers whole-batch failures only (transport,
+// overload, shutdown, deadline).
+func (c *Client) Batch(stmts []string) ([]*Response, error) {
+	resp, err := c.do(Request{Batch: stmts})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // QueryTraced executes one statement with span tracing: the response
@@ -193,6 +209,73 @@ func DialRetry(addr string, pol RetryPolicy) *RetryClient {
 // Query executes one statement with retries.
 func (r *RetryClient) Query(q string) (*Response, error) {
 	return r.do(Request{Query: q})
+}
+
+// Batch executes stmts as one batch request with retries. Retrying a
+// batch is subtler than retrying a statement: an overload rejection
+// happens before execution and is always safe to resend, but a deadline
+// or broken session leaves the batch's execution state unknown — some
+// prefix may have committed — so those are resent only when EVERY
+// statement is read-only (a re-read cannot double-apply anything).
+// Mutating batches with unknown state fail fast instead.
+func (r *RetryClient) Batch(stmts []string) ([]*Response, error) {
+	readOnly := allReadOnly(stmts)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.backoff(attempt))
+		}
+		c, err := r.sessionLocked()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.do(Request{Batch: stmts})
+		if err == nil {
+			return resp.Results, nil
+		}
+		lastErr = err
+		if c.Broken() {
+			c.Close()
+			r.c = nil
+		}
+		if !batchRetryable(err, readOnly) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("server: giving up after %d attempts: %w", r.pol.MaxAttempts, lastErr)
+}
+
+// batchRetryable decides whether a failed batch may be resent. Overload is
+// a pre-execution rejection (the pool never admitted the batch), so it is
+// always safe. Shutdown is also pre-execution but the server is draining —
+// retrying matches the single-statement client's behavior of giving up.
+// Every other retryable class (deadline, broken session, transport) left
+// the batch's execution state unknown: safe only for all-read-only batches.
+func batchRetryable(err error, readOnly bool) bool {
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	if errors.Is(err, ErrShuttingDown) {
+		return false
+	}
+	return readOnly && IsRetryable(err)
+}
+
+// allReadOnly reports whether every statement parses and is read-only —
+// the condition under which a batch with unknown execution state can be
+// resent without double-applying mutations. Unparseable statements count
+// as mutations (the server's parser may be newer than ours).
+func allReadOnly(stmts []string) bool {
+	for _, src := range stmts {
+		st, err := sql.Parse(src)
+		if err != nil || !sql.ReadOnly(st) {
+			return false
+		}
+	}
+	return true
 }
 
 // Attempts exposes how many tries do would make (tests).

@@ -12,7 +12,10 @@ import (
 
 // LoadReport summarizes one load-generation run.
 type LoadReport struct {
-	Clients  int           `json:"clients"`
+	Clients int `json:"clients"`
+	// Batch is the statements-per-request the run used (0/1 = unbatched).
+	// With batching, P50/P99 are per-BATCH round-trip latencies.
+	Batch    int           `json:"batch,omitempty"`
 	Duration time.Duration `json:"duration_ns"`
 	Queries  int64         `json:"queries"`
 	Errors   int64         `json:"errors"`
@@ -41,8 +44,13 @@ type LoadSpec struct {
 	// TimingEvery asks for RC-NVM timing attribution on every n-th
 	// query per client (0 = never). Timed queries are exclusive and
 	// expensive; a small sprinkle shows the attribution path under load
-	// without serializing the whole run.
+	// without serializing the whole run. Ignored when Batch > 1 (batch
+	// requests do not support timing).
 	TimingEvery int
+	// Batch groups each client's statement stream into batch requests of
+	// this many statements per round trip (0 or 1 = one statement per
+	// request, the classic mode).
+	Batch int
 	// Table is the target table; it must exist with columns
 	// (id, grp, val). Setup is the caller's job (see cmd/rcnvm-serve).
 	Table string
@@ -89,6 +97,10 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 				fmt.Sprintf("UPDATE %s SET val = 200 WHERE id = %%d", spec.Table),
 				fmt.Sprintf("SELECT SUM(val), COUNT(*) FROM %s WHERE grp = %d", spec.Table, g%8),
 			}
+			var batch []string
+			if spec.Batch > 1 {
+				batch = make([]string, 0, spec.Batch)
+			}
 			for i := 0; time.Now().Before(deadline); i++ {
 				q := stmts[i%len(stmts)]
 				// The INSERT/point statements cycle through this
@@ -96,6 +108,32 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 				id := base + uint64(i/len(stmts))
 				if i%len(stmts) != 3 {
 					q = fmt.Sprintf(q, id)
+				}
+				if batch != nil {
+					batch = append(batch, q)
+					if len(batch) < spec.Batch {
+						continue
+					}
+					t0 := time.Now()
+					rs, err := c.Batch(batch)
+					lat.Observe(time.Since(t0).Nanoseconds())
+					queries.Add(int64(len(batch)))
+					batch = batch[:0]
+					switch {
+					case err == nil:
+						for _, r := range rs {
+							if r.Error != nil {
+								errs.Add(1)
+							}
+						}
+					case errors.Is(err, ErrOverloaded):
+						rejected.Add(1)
+					case errors.Is(err, ErrShuttingDown):
+						return
+					default:
+						errs.Add(1)
+					}
+					continue
 				}
 				t0 := time.Now()
 				var err error
@@ -129,6 +167,7 @@ func RunLoad(spec LoadSpec) (*LoadReport, error) {
 	elapsed := time.Since(start)
 	rep := &LoadReport{
 		Clients:  spec.Clients,
+		Batch:    spec.Batch,
 		Duration: elapsed,
 		Queries:  queries.Load(),
 		Errors:   errs.Load(),

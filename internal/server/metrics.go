@@ -9,20 +9,30 @@ import (
 // Server counter names, kept in the same stats.Set namespace style as the
 // simulator counters so one snapshot renders uniformly.
 const (
-	Queries        = "server.queries"         // statements executed (ok or sql error)
-	QueryErrors    = "server.query_errors"    // statements that failed (parse/exec)
-	TimedQueries   = "server.timed_queries"   // statements with timing attribution
-	Rejected       = "server.rejected"        // admissions refused: pool queue full
-	RejectedDrain  = "server.rejected_drain"  // admissions refused: shutting down
-	RowsReturned   = "server.rows_returned"   // result rows sent to clients
-	SessionsOpened = "server.sessions_opened" // TCP connections accepted
-	SessionsActive = "server.sessions_active" // TCP connections currently open
-	BadRequests    = "server.bad_requests"    // undecodable protocol messages
-	MemoryErrors   = "server.memory_errors"   // statements failed by uncorrectable memory errors
-	Panics         = "server.panics"          // executor panics recovered into internal_error
-	Timeouts       = "server.timeouts"        // statements past their deadline
-	TracedQueries  = "server.traced_queries"  // statements sampled for span tracing
-	EncodeErrors   = "server.encode_errors"   // responses computed but undeliverable (encode failed)
+	Queries         = "server.queries"          // statements executed (ok or sql error)
+	QueryErrors     = "server.query_errors"     // statements that failed (parse/exec)
+	TimedQueries    = "server.timed_queries"    // statements with timing attribution
+	Rejected        = "server.rejected"         // admissions refused: pool queue full
+	RejectedDrain   = "server.rejected_drain"   // admissions refused: shutting down
+	RowsReturned    = "server.rows_returned"    // result rows sent to clients
+	SessionsOpened  = "server.sessions_opened"  // TCP connections accepted
+	SessionsActive  = "server.sessions_active"  // TCP connections currently open
+	BadRequests     = "server.bad_requests"     // undecodable protocol messages
+	MemoryErrors    = "server.memory_errors"    // statements failed by uncorrectable memory errors
+	Panics          = "server.panics"           // executor panics recovered into internal_error
+	Timeouts        = "server.timeouts"         // statements past their deadline
+	TracedQueries   = "server.traced_queries"   // statements sampled for span tracing
+	EncodeErrors    = "server.encode_errors"    // responses computed but undeliverable (encode failed)
+	Batches         = "server.batches"          // batch requests executed
+	BatchStatements = "server.batch_statements" // statements carried inside batch requests
+)
+
+// Plan-cache counter names, sourced from sql.PlanCache.Counters and merged
+// into /stats and /metrics alongside the server counters.
+const (
+	PlanCacheHits      = "plancache.hits"
+	PlanCacheMisses    = "plancache.misses"
+	PlanCacheEvictions = "plancache.evictions"
 )
 
 // Fault-layer counter names merged into /stats when injection is enabled.
@@ -56,6 +66,20 @@ func (m *Metrics) observe(d time.Duration, rows int, failed bool) {
 	if failed {
 		m.Set.Inc(QueryErrors)
 	}
+	m.Set.Add(RowsReturned, int64(rows))
+	m.Latency.Observe(d.Nanoseconds())
+}
+
+// observeBatch records one executed batch: each statement counts toward
+// the per-statement counters exactly as if it had arrived alone, and the
+// latency histogram gets ONE sample covering the whole batch (per-statement
+// latency inside a batch is not individually measurable — they share one
+// lock round and one fsync wait).
+func (m *Metrics) observeBatch(d time.Duration, stmts, failed, rows int) {
+	m.Set.Inc(Batches)
+	m.Set.Add(BatchStatements, int64(stmts))
+	m.Set.Add(Queries, int64(stmts))
+	m.Set.Add(QueryErrors, int64(failed))
 	m.Set.Add(RowsReturned, int64(rows))
 	m.Latency.Observe(d.Nanoseconds())
 }

@@ -16,6 +16,13 @@ var serverCounterNames = []string{
 	Queries, QueryErrors, TimedQueries, TracedQueries, Rejected,
 	RejectedDrain, RowsReturned, SessionsOpened, SessionsActive,
 	BadRequests, MemoryErrors, Panics, Timeouts, EncodeErrors,
+	Batches, BatchStatements,
+}
+
+// planCacheCounterNames is every plancache.* counter; /metrics renders them
+// from the first scrape (all zero when the cache is disabled).
+var planCacheCounterNames = []string{
+	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions,
 }
 
 // faultCounterNames is every fault.* counter; /metrics always renders them
@@ -46,6 +53,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if _, ok := counters[name]; !ok {
 			counters[name] = 0
 		}
+	}
+	for _, name := range planCacheCounterNames {
+		if _, ok := counters[name]; !ok {
+			counters[name] = 0
+		}
+	}
+	{
+		h, m, e := s.plans.Counters()
+		counters[PlanCacheHits] = h
+		counters[PlanCacheMisses] = m
+		counters[PlanCacheEvictions] = e
 	}
 	// wal.* series render from the first scrape like every other family
 	// (all zero on a volatile server).

@@ -60,8 +60,15 @@ type Request struct {
 	// ID is echoed back on the response; clients use it to match
 	// responses to requests.
 	ID uint64 `json:"id,omitempty"`
-	// Query is the SQL statement text.
+	// Query is the SQL statement text. Mutually exclusive with Batch.
 	Query string `json:"query"`
+	// Batch is an ordered list of statements executed as one unit: one
+	// pool admission, one shard-lock round, one group-commit fsync wait.
+	// The response carries one result slot per statement in Results; a
+	// failed statement fills its slot's Error and the batch continues,
+	// exactly as a session issuing the statements one at a time would.
+	// Batch requests do not support Timing or Trace.
+	Batch []string `json:"batch,omitempty"`
 	// Timing asks for simulated memory-timing attribution. Timed
 	// statements execute under the exclusive lock (trace recording is
 	// shared state), so use it for diagnosis, not on the hot path.
@@ -130,7 +137,12 @@ type Response struct {
 	// TraceEvents is the Chrome trace-event JSON document for requests
 	// that set Trace (save it to a file and open in Perfetto).
 	TraceEvents json.RawMessage `json:"trace_events,omitempty"`
-	Error       *WireError      `json:"error,omitempty"`
+	// Results carries the per-statement outcomes of a Batch request, in
+	// statement order (len == len(Request.Batch)). The top-level Error is
+	// set only for whole-batch failures (bad request, overload, shutdown,
+	// deadline); per-statement failures land in their slot's Error.
+	Results []*Response `json:"results,omitempty"`
+	Error   *WireError  `json:"error,omitempty"`
 }
 
 // Err returns the response's error (nil on success), mapping the

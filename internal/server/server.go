@@ -29,6 +29,12 @@ import (
 // maxLineBytes bounds one TCP protocol line (and so one statement).
 const maxLineBytes = 1 << 20
 
+// MaxBatchStatements caps one batch request. A batch holds every shard's
+// statement lock for its whole run, so an unbounded batch would starve
+// concurrent sessions; past the cap the request is rejected bad_request
+// and the client should split it.
+const MaxBatchStatements = 1024
+
 // Options configures a Server. The zero value is usable: GOMAXPROCS
 // workers with a 4x queue.
 type Options struct {
@@ -55,6 +61,11 @@ type Options struct {
 	// Logger, when non-nil, receives structured server logs (one line per
 	// session close with duration, statement and error counts).
 	Logger *slog.Logger
+	// PlanCacheSize caps the query-plan cache (statement shapes with
+	// literals parameterized out, mapped to parsed templates). 0 means
+	// sql.DefaultPlanCacheSize; negative disables the cache so every
+	// statement parses from scratch.
+	PlanCacheSize int
 	// Durable, when non-nil, is the durability subsystem already recovered
 	// onto the served cluster. The server merges its counters into /stats
 	// and /metrics, serves POST /checkpoint, and checkpoints once after a
@@ -78,6 +89,10 @@ type Server struct {
 	pool    *Pool
 	met     *Metrics
 	opts    Options
+	// plans caches parsed statement templates by shape; nil when
+	// Options.PlanCacheSize is negative. Invalidation on DDL happens
+	// inside the sql layer (generation bump on successful CREATE TABLE).
+	plans *sql.PlanCache
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -123,6 +138,9 @@ func NewCluster(c *shard.Cluster, opts Options) *Server {
 		opts:    opts,
 		conns:   make(map[net.Conn]struct{}),
 		tel:     obs.NewTelemetry(banks, obs.DefaultSampleIntervalPs),
+	}
+	if opts.PlanCacheSize >= 0 {
+		s.plans = sql.NewPlanCache(opts.PlanCacheSize)
 	}
 	if c.N() > 1 {
 		s.shardTels = make([]*obs.Telemetry, c.N())
@@ -395,8 +413,18 @@ func (s *Server) Stats() StatsSnapshot {
 			snap.Counters[name] = v
 		}
 	}
+	if s.plans != nil {
+		h, m, e := s.plans.Counters()
+		snap.Counters[PlanCacheHits] = h
+		snap.Counters[PlanCacheMisses] = m
+		snap.Counters[PlanCacheEvictions] = e
+	}
 	return snap
 }
+
+// PlanCache exposes the server's plan cache (nil when disabled); tests and
+// the benchmark harness read its counters.
+func (s *Server) PlanCache() *sql.PlanCache { return s.plans }
 
 // faultCounts sums the fault injectors' accounting across every shard;
 // ok is false when no shard has fault injection enabled.
@@ -435,9 +463,9 @@ func (s *Server) Do(req *Request) *Response {
 // to extend the shutdown drain across response delivery. release is nil
 // when the request was rejected without admission.
 func (s *Server) doHeld(req *Request) (resp *Response, release func()) {
-	if req.Query == "" {
+	if msg := validateRequest(req); msg != "" {
 		s.met.Set.Inc(BadRequests)
-		return errResponse(req.ID, CodeBadRequest, "empty query"), nil
+		return errResponse(req.ID, CodeBadRequest, msg), nil
 	}
 	// Count the request as in-flight while holding s.mu so Shutdown
 	// either sees it (and drains it) or has already flipped shutting
@@ -504,6 +532,28 @@ func (s *Server) doHeld(req *Request) (resp *Response, release func()) {
 	}
 }
 
+// validateRequest returns the bad_request message for a malformed request,
+// or "" when the request is admissible. A batch occupies exactly one pool
+// slot and one in-flight count, like a single statement.
+func validateRequest(req *Request) string {
+	if len(req.Batch) > 0 {
+		switch {
+		case req.Query != "":
+			return "query and batch are mutually exclusive"
+		case req.Timing || req.Trace:
+			return "batch requests do not support timing or trace"
+		case len(req.Batch) > MaxBatchStatements:
+			return fmt.Sprintf("batch of %d statements exceeds the %d-statement cap",
+				len(req.Batch), MaxBatchStatements)
+		}
+		return ""
+	}
+	if req.Query == "" {
+		return "empty query"
+	}
+	return ""
+}
+
 // execute runs one admitted statement on a pool worker. A panic anywhere
 // in parse/execute/replay is recovered into a typed internal_error — one
 // poisoned statement must not take down the worker (and with it the
@@ -519,6 +569,9 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	}()
 	if s.opts.execDelay > 0 {
 		time.Sleep(s.opts.execDelay)
+	}
+	if len(req.Batch) > 0 {
+		return s.executeBatch(req, start)
 	}
 	if s.opts.panicOn != "" && req.Query == s.opts.panicOn {
 		panic("injected test panic")
@@ -536,10 +589,13 @@ func (s *Server) execute(req *Request) (resp *Response) {
 		err     error
 	)
 	if req.Timing {
+		// Timing replays record full access traces and run under the
+		// exclusive lock; the plan cache is a hot-path optimization, so the
+		// traced path stays on the uncached parser by design.
 		s.met.Set.Inc(TimedQueries)
 		res, streams, err = sql.ExecShardedTracedObserved(s.cluster, req.Query, rec, int64(req.ID))
 	} else {
-		res, err = sql.ExecShardedObserved(s.cluster, req.Query, rec, int64(req.ID))
+		res, err = sql.ExecShardedObservedCached(s.cluster, s.plans, req.Query, rec, int64(req.ID))
 	}
 	if err != nil {
 		return s.execError(req.ID, start, err)
@@ -564,6 +620,36 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	}
 	s.met.observe(time.Since(start), len(resp.Rows), false)
 	return resp
+}
+
+// executeBatch runs one admitted batch on a pool worker: one call into the
+// batched executor (one shard-lock round, grouped fan-outs, one
+// group-commit wait), then one Response slot per statement. Per-statement
+// failures fill their slot's Error; the top-level response never fails
+// except on panic. start is the admission timestamp from execute, so the
+// latency histogram sees the whole batch as one sample.
+func (s *Server) executeBatch(req *Request, start time.Time) *Response {
+	results, errs := sql.ExecBatchSharded(s.cluster, s.plans, req.Batch)
+	out := make([]*Response, len(results))
+	rows, failed := 0, 0
+	for i := range results {
+		if errs[i] != nil {
+			failed++
+			out[i] = &Response{Error: s.wireError(errs[i])}
+			continue
+		}
+		r := results[i]
+		out[i] = &Response{
+			Columns:  r.Columns,
+			Rows:     r.Rows,
+			Floats:   r.Floats,
+			Affected: r.Affected,
+			Message:  r.Message,
+		}
+		rows += len(r.Rows)
+	}
+	s.met.observeBatch(time.Since(start), len(req.Batch), failed, rows)
+	return &Response{ID: req.ID, Results: out}
 }
 
 // shouldTrace decides whether one statement records spans: explicitly via
@@ -603,12 +689,18 @@ func (s *Server) emitTrace(req *Request, resp *Response, rec *obs.Recorder) {
 // faulty memory) become the typed memory_error, everything else sql_error.
 func (s *Server) execError(id uint64, start time.Time, err error) *Response {
 	s.met.observe(time.Since(start), 0, true)
+	return &Response{ID: id, Error: s.wireError(err)}
+}
+
+// wireError classifies one statement failure (uncorrectable memory error
+// vs. SQL error) and bumps the corresponding counter.
+func (s *Server) wireError(err error) *WireError {
 	var ue *fault.UncorrectableError
 	if errors.As(err, &ue) {
 		s.met.Set.Inc(MemoryErrors)
-		return errResponse(id, CodeMemory, err.Error())
+		return &WireError{Code: CodeMemory, Message: err.Error()}
 	}
-	return errResponse(id, CodeSQL, err.Error())
+	return &WireError{Code: CodeSQL, Message: err.Error()}
 }
 
 // replayTiming runs the statement's per-shard access traces on the RC-NVM

@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rcnvm/internal/engine"
+	"rcnvm/internal/shard"
+)
+
+// batchWorkload is the equivalence workload: DDL, multi-row and point
+// inserts, point and broadcast selects, aggregates, joins-free grouping,
+// updates, deletes, and error slots in the middle of the stream.
+func batchWorkload() []string {
+	w := []string{
+		"CREATE TABLE kv (k, grp, val) CAPACITY 1024",
+	}
+	for i := 0; i < 24; i++ {
+		w = append(w, fmt.Sprintf("INSERT INTO kv VALUES (%d, %d, %d)", i, i%4, i*10))
+	}
+	w = append(w,
+		"SELECT val FROM kv WHERE k = 7",
+		"SELECT nope FROM kv",     // error slot mid-batch
+		"SELECT val FROM missing", // another error
+		"SELECT * FROM kv WHERE grp = 2 LIMIT 3",
+		"SELECT SUM(val), COUNT(*) FROM kv WHERE grp = 1",
+		"UPDATE kv SET val = 1 WHERE grp = 3", // broadcast write
+		"UPDATE kv SET val = 5 WHERE k = 4",   // point write
+		"SELECT SUM(val), COUNT(*) FROM kv WHERE grp = 3",
+		"DELETE FROM kv WHERE k = 7",     // point delete
+		"DELETE FROM kv WHERE val > 150", // broadcast delete
+		"SELECT COUNT(*) FROM kv",
+		"CREATE TABLE extra (a, b) CAPACITY 64", // DDL mid-batch
+		"INSERT INTO extra VALUES (1, 2)",       // uses the table created above
+		"SELECT a FROM extra WHERE b = 2",
+		"SELECT MIN(val), MAX(val) FROM kv",
+	)
+	return w
+}
+
+// runSequential is the reference schedule: the same statements one at a
+// time through the unbatched scatter executor.
+func runSequential(t *testing.T, c *shard.Cluster, stmts []string) ([]*Result, []error) {
+	t.Helper()
+	results := make([]*Result, len(stmts))
+	errs := make([]error, len(stmts))
+	for i, src := range stmts {
+		results[i], errs[i] = ExecSharded(c, src)
+	}
+	return results, errs
+}
+
+func openCluster(t *testing.T, n int) *shard.Cluster {
+	t.Helper()
+	c, err := shard.Open(engine.DualAddress, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBatchMatchesSequential: for 1 and 4 shards, a batch's results and
+// error slots must be deeply identical to the sequential schedule's,
+// statement by statement.
+func TestBatchMatchesSequential(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			stmts := batchWorkload()
+			wantRes, wantErrs := runSequential(t, openCluster(t, shards), stmts)
+			gotRes, gotErrs := ExecBatchSharded(openCluster(t, shards), NewPlanCache(0), stmts)
+			if len(gotRes) != len(stmts) || len(gotErrs) != len(stmts) {
+				t.Fatalf("batch returned %d results / %d errs for %d statements",
+					len(gotRes), len(gotErrs), len(stmts))
+			}
+			for i := range stmts {
+				if (wantErrs[i] == nil) != (gotErrs[i] == nil) {
+					t.Errorf("stmt %d %q: sequential err %v, batch err %v",
+						i, stmts[i], wantErrs[i], gotErrs[i])
+					continue
+				}
+				if wantErrs[i] != nil && wantErrs[i].Error() != gotErrs[i].Error() {
+					t.Errorf("stmt %d %q: sequential err %q, batch err %q",
+						i, stmts[i], wantErrs[i], gotErrs[i])
+					continue
+				}
+				if !reflect.DeepEqual(wantRes[i], gotRes[i]) {
+					t.Errorf("stmt %d %q: sequential %+v, batch %+v",
+						i, stmts[i], wantRes[i], gotRes[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSplitsMatchSequential: splitting the same workload into many
+// smaller batches (amortization group boundaries land in different
+// places) must still reproduce the sequential schedule.
+func TestBatchSplitsMatchSequential(t *testing.T) {
+	stmts := batchWorkload()
+	wantRes, wantErrs := runSequential(t, openCluster(t, 4), stmts)
+	for _, size := range []int{1, 3, 7} {
+		c := openCluster(t, 4)
+		pc := NewPlanCache(0)
+		var gotRes []*Result
+		var gotErrs []error
+		for lo := 0; lo < len(stmts); lo += size {
+			hi := lo + size
+			if hi > len(stmts) {
+				hi = len(stmts)
+			}
+			rs, es := ExecBatchSharded(c, pc, stmts[lo:hi])
+			gotRes = append(gotRes, rs...)
+			gotErrs = append(gotErrs, es...)
+		}
+		for i := range stmts {
+			if (wantErrs[i] == nil) != (gotErrs[i] == nil) ||
+				!reflect.DeepEqual(wantRes[i], gotRes[i]) {
+				t.Fatalf("split=%d stmt %d %q: sequential (%+v, %v), batch (%+v, %v)",
+					size, i, stmts[i], wantRes[i], wantErrs[i], gotRes[i], gotErrs[i])
+			}
+		}
+	}
+}
+
+// TestBatchReadOnlyUsesSharedLock: an all-SELECT batch must work (it takes
+// the read lock) and return the same rows as sequential execution.
+func TestBatchReadOnlyUsesSharedLock(t *testing.T) {
+	c := openCluster(t, 4)
+	if _, err := ExecSharded(c, "CREATE TABLE kv (k, grp, val) CAPACITY 256"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := ExecSharded(c, fmt.Sprintf("INSERT INTO kv VALUES (%d, %d, %d)", i, i%2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reads := []string{
+		"SELECT val FROM kv WHERE k = 3",
+		"SELECT COUNT(*) FROM kv",
+		"SELECT SUM(val), COUNT(*) FROM kv WHERE grp = 1",
+		"SELECT * FROM kv WHERE grp = 0 LIMIT 2",
+	}
+	wantRes, wantErrs := runSequential(t, c, reads)
+	gotRes, gotErrs := ExecBatchSharded(c, nil, reads)
+	for i := range reads {
+		if wantErrs[i] != nil || gotErrs[i] != nil {
+			t.Fatalf("stmt %d: errs %v / %v", i, wantErrs[i], gotErrs[i])
+		}
+		if !reflect.DeepEqual(wantRes[i], gotRes[i]) {
+			t.Fatalf("stmt %d %q: sequential %+v, batch %+v", i, reads[i], wantRes[i], gotRes[i])
+		}
+	}
+}
+
+// TestBatchEmptyAndAllErrors: degenerate batches behave.
+func TestBatchEmptyAndAllErrors(t *testing.T) {
+	c := openCluster(t, 2)
+	rs, es := ExecBatchSharded(c, nil, nil)
+	if len(rs) != 0 || len(es) != 0 {
+		t.Fatalf("empty batch returned %d/%d slots", len(rs), len(es))
+	}
+	rs, es = ExecBatchSharded(c, nil, []string{"NOT SQL", "ALSO NOT"})
+	if len(rs) != 2 || es[0] == nil || es[1] == nil {
+		t.Fatalf("all-error batch: %v %v", rs, es)
+	}
+}

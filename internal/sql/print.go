@@ -138,3 +138,18 @@ func (s *Delete) String() string {
 	}
 	return b.String()
 }
+
+func (s *Explain) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + StatementText(s.Stmt)
+	}
+	return "EXPLAIN " + StatementText(s.Stmt)
+}
+
+// StatementText renders a parsed statement back as SQL (every statement
+// type implements String with the parser round-trip property). The WAL
+// uses it to log an EXPLAIN ANALYZE's inner mutation from the parsed AST
+// instead of re-deriving it from the source text.
+func StatementText(st Statement) string {
+	return st.(interface{ String() string }).String()
+}

@@ -41,34 +41,69 @@ import (
 // holding the per-shard statement locks the sub-plans require. A 1-shard
 // cluster takes exactly the ExecLocked path.
 func ExecSharded(c *shard.Cluster, src string) (*Result, error) {
-	if c.N() == 1 {
-		return ExecLocked(c.Shard(0), src)
-	}
-	st, err := Parse(src)
+	return ExecShardedCached(c, nil, src)
+}
+
+// ExecShardedCached is ExecSharded with a plan cache consulted for the
+// parse (nil = plain Parse). Successful DDL bumps the cache generation so
+// templates cached before the schema change are re-parsed.
+func ExecShardedCached(c *shard.Cluster, pc *PlanCache, src string) (*Result, error) {
+	st, err := pc.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := runSharded(c, st, src, false, nil, 0)
+	var res *Result
+	if c.N() == 1 {
+		res, err = runLocked(c.Shard(0), st, src)
+	} else {
+		res, _, err = runSharded(c, st, src, false, nil, 0)
+	}
+	invalidateOnDDL(pc, st, err)
 	return res, err
 }
 
 // ExecShardedObserved is ExecSharded with wall-clock phase spans (parse,
 // lock_wait, exec) recorded under obs.ProcQuery on lane tid.
 func ExecShardedObserved(c *shard.Cluster, src string, rec *obs.Recorder, tid int64) (*Result, error) {
+	return ExecShardedObservedCached(c, nil, src, rec, tid)
+}
+
+// ExecShardedObservedCached is ExecShardedObserved with a plan cache
+// consulted for the parse (nil = plain Parse).
+func ExecShardedObservedCached(c *shard.Cluster, pc *PlanCache, src string, rec *obs.Recorder, tid int64) (*Result, error) {
 	if rec == nil {
-		return ExecSharded(c, src)
-	}
-	if c.N() == 1 {
-		return ExecObserved(c.Shard(0), src, rec, tid)
+		return ExecShardedCached(c, pc, src)
 	}
 	t0 := time.Now()
-	st, err := Parse(src)
+	st, err := pc.Parse(src)
 	rec.WallSince(obs.ProcQuery, "parse", obs.CatSQL, tid, t0)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := runSharded(c, st, src, false, rec, tid)
+	var res *Result
+	if c.N() == 1 {
+		res, err = runObserved(c.Shard(0), st, src, rec, tid)
+	} else {
+		res, _, err = runSharded(c, st, src, false, rec, tid)
+	}
+	invalidateOnDDL(pc, st, err)
 	return res, err
+}
+
+// invalidateOnDDL bumps the plan-cache generation after a successful
+// schema change (CREATE TABLE, bare or under EXPLAIN ANALYZE).
+func invalidateOnDDL(pc *PlanCache, st Statement, execErr error) {
+	if pc == nil || execErr != nil {
+		return
+	}
+	switch s := st.(type) {
+	case *CreateTable:
+		pc.Invalidate()
+	case *Explain:
+		if _, ok := s.Stmt.(*CreateTable); ok && s.Analyze {
+			pc.Invalidate()
+		}
+	}
 }
 
 // ExecShardedTraced executes one statement with per-shard memory-access
@@ -328,7 +363,7 @@ func dispatchSharded(c *shard.Cluster, st Statement, src string, targets []int) 
 		return scatterAffected(c, targets, src, false,
 			func(db *engine.DB) (*Result, error) { return runDelete(db, s) })
 	case *Explain:
-		return scatterExplain(c, s, src)
+		return scatterExplain(c, s)
 	default:
 		return nil, nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}

@@ -190,12 +190,19 @@ func scatterSelect(c *shard.Cluster, s *Select) (*Result, error) {
 		parts[i] = selectOnShard(c, i, s)
 		return nil
 	})
+	return mergeSelect(c, s, parts)
+}
+
+// mergeSelect combines per-shard partials into the final Result (locks
+// must still be held: merging projects rows out of shard memory). Shared
+// with the batch executor, whose grouped fan-out produces the partials for
+// several SELECTs in one round trip. The lowest shard's error wins.
+func mergeSelect(c *shard.Cluster, s *Select, parts []selPartial) (*Result, error) {
 	for i := range parts {
 		if parts[i].err != nil {
 			return nil, parts[i].err
 		}
 	}
-
 	if s.GroupBy != "" {
 		return mergeGroups(c, s, parts)
 	}
@@ -511,7 +518,7 @@ func scatterJoin(c *shard.Cluster, s *Select) (*Result, error) {
 // through the sharded path with per-shard tracing, then replays each
 // shard's stream on its own simulated channel: the statement finishes
 // when its slowest shard does, so the estimate is the max over shards.
-func scatterExplain(c *shard.Cluster, ex *Explain, src string) (*Result, []func() error, error) {
+func scatterExplain(c *shard.Cluster, ex *Explain) (*Result, []func() error, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scatter over %d shards\n", c.N())
 	describe(c.Shard(0), ex.Stmt, &b)
@@ -525,8 +532,9 @@ func scatterExplain(c *shard.Cluster, ex *Explain, src string) (*Result, []func(
 		c.Shard(i).StartTrace()
 	}
 	// The inner dispatch logs any mutation under the inner statement's own
-	// source text: replay must re-execute the mutation, not re-time it.
-	_, waits, runErr := dispatchSharded(c, ex.Stmt, innerSrc(src), targets)
+	// text, printed from the parsed AST (round-trip property): replay must
+	// re-execute the mutation, not re-time it.
+	_, waits, runErr := dispatchSharded(c, ex.Stmt, StatementText(ex.Stmt), targets)
 	streams := make([]trace.Stream, c.N())
 	for _, i := range targets {
 		streams[i] = c.Shard(i).StopTrace()

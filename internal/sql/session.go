@@ -2,9 +2,7 @@ package sql
 
 import (
 	"fmt"
-	"strings"
 	"time"
-	"unicode"
 
 	"rcnvm/internal/engine"
 	"rcnvm/internal/obs"
@@ -55,24 +53,6 @@ func mutates(st Statement) bool {
 	return false
 }
 
-// innerSrc strips the EXPLAIN [ANALYZE] prefix off a statement's source,
-// leaving the inner statement's own text. The WAL records that inner text
-// for an EXPLAIN ANALYZE over a mutation: replay must re-execute the
-// mutation, not re-time it.
-func innerSrc(src string) string {
-	s := trimKeyword(strings.TrimSpace(src), "EXPLAIN")
-	return trimKeyword(s, "ANALYZE")
-}
-
-// trimKeyword removes a leading keyword (case-insensitive, must be
-// followed by whitespace) and the whitespace after it.
-func trimKeyword(s, kw string) string {
-	if len(s) > len(kw) && strings.EqualFold(s[:len(kw)], kw) && unicode.IsSpace(rune(s[len(kw)])) {
-		return strings.TrimSpace(s[len(kw):])
-	}
-	return s
-}
-
 // logShard appends one statement record on db's commit log. Nil-safe and
 // allocation-free when no log is installed. An append failure surfaces
 // through the returned wait: the statement has already executed, so a
@@ -98,7 +78,10 @@ func logCommit(db *engine.DB, st Statement, src string, execErr error) func() er
 		return nil
 	}
 	if ex, ok := st.(*Explain); ok && ex.Analyze {
-		src = innerSrc(src)
+		// The WAL records the inner mutation's own text: replay must
+		// re-execute the mutation, not re-time it. Printed from the parsed
+		// AST (round-trip property) rather than re-derived from the source.
+		src = StatementText(ex.Stmt)
 	}
 	return logShard(db, src, execErr != nil, false)
 }
@@ -122,6 +105,13 @@ func ExecLocked(db *engine.DB, src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runLocked(db, st, src)
+}
+
+// runLocked is ExecLocked past the parse: it executes an already-parsed
+// statement under the lock mode the statement requires. The statement may
+// be a shared plan-cache template; it is never mutated.
+func runLocked(db *engine.DB, st Statement, src string) (*Result, error) {
 	if ReadOnly(st) {
 		db.RLock()
 		defer db.RUnlock()
@@ -150,6 +140,15 @@ func ExecObserved(db *engine.DB, src string, rec *obs.Recorder, tid int64) (*Res
 	rec.WallSince(obs.ProcQuery, "parse", obs.CatSQL, tid, t0)
 	if err != nil {
 		return nil, err
+	}
+	return runObserved(db, st, src, rec, tid)
+}
+
+// runObserved is ExecObserved past the parse (the caller has already
+// recorded its own parse span).
+func runObserved(db *engine.DB, st Statement, src string, rec *obs.Recorder, tid int64) (*Result, error) {
+	if rec == nil {
+		return runLocked(db, st, src)
 	}
 	tLock := time.Now()
 	if ReadOnly(st) {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the perf-regression gate.
+#
+# Runs the committed batching benchmark (BenchmarkServerBatch), captures
+# its machine-readable result, and diffs it against the committed
+# baselines under results/baselines/ with rcnvm-benchdiff. Exits non-zero
+# on regression.
+#
+# The committed baselines pin machine-portable RATIOS (batched-vs-single
+# speedups with tolerance bands and absolute floors), not raw stmts/s, so
+# the gate holds on hardware of any absolute speed.
+#
+# Usage:
+#   scripts/bench_compare.sh              run benchmark, compare, fail on regression
+#   scripts/bench_compare.sh --self-test  prove the gate trips: degrade each baseline
+#                                         metric past tolerance and require it caught
+#   scripts/bench_compare.sh --update     escape hatch after an ACCEPTED perf change:
+#                                         re-run and rewrite the baselines from this
+#                                         run (directions/tolerances/floors carry
+#                                         over). Commit the resulting diff so the
+#                                         change is visible in review.
+#
+# Environment:
+#   BENCHTIME   go test -benchtime for the measurement run (default 2s)
+#   OUT         directory for the current run's BENCH_*.json (default mktemp)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINES=results/baselines
+MODE="${1:-}"
+
+if [[ "$MODE" == "--self-test" ]]; then
+    exec go run ./cmd/rcnvm-benchdiff -self-test "$BASELINES"
+fi
+
+OUT="${OUT:-$(mktemp -d)}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+echo "bench_compare: running BenchmarkServerBatch (benchtime=$BENCHTIME) -> $OUT" >&2
+BENCH_JSON_DIR="$OUT" go test -run '^$' -bench 'BenchmarkServerBatch' -benchtime "$BENCHTIME" .
+
+case "$MODE" in
+"")
+    exec go run ./cmd/rcnvm-benchdiff "$BASELINES" "$OUT"
+    ;;
+--update)
+    go run ./cmd/rcnvm-benchdiff -update "$BASELINES" "$OUT"
+    echo "bench_compare: baselines updated; review and commit the diff:" >&2
+    git --no-pager diff --stat -- "$BASELINES" >&2
+    ;;
+*)
+    echo "bench_compare: unknown mode $MODE (want --self-test, --update, or nothing)" >&2
+    exit 2
+    ;;
+esac
