@@ -36,6 +36,25 @@
 // prints the throughput report and the server's own /stats counters:
 //
 //	$ rcnvm-serve -loadgen 16 -duration 3s
+//
+// Cluster modes wire several rcnvm-serve processes into a replicated
+// serving set (see DESIGN.md, "Replication & failover"):
+//
+//	$ rcnvm-serve -data-dir ./data -tcp :7070 -http :7071             # primary
+//	$ rcnvm-serve -replica localhost:7071 -tcp :7072 -http :7073      # read replica
+//	$ rcnvm-serve -route -primary localhost:7070@localhost:7071 \
+//	    -replicas localhost:7072@localhost:7073 -tcp :7470 -http :7471
+//
+// A replica streams the primary's WAL over /wal/* and applies it through
+// the crash-recovery code path; its /readyz stays 503 until it has
+// caught up, and GET /checksum lets operators byte-compare replica state
+// against the primary. The router speaks the same NDJSON/HTTP protocols
+// as a single server: writes go to the primary (failing fast with the
+// retryable primary_unavailable when it is down), reads round-robin
+// across healthy replicas and fail over invisibly when one dies.
+//
+// In every serving mode, the first SIGINT/SIGTERM drains gracefully; a
+// second signal aborts the drain immediately with a non-zero exit.
 package main
 
 import (
@@ -57,6 +76,7 @@ import (
 	"time"
 
 	"rcnvm/internal/benchjson"
+	"rcnvm/internal/cluster"
 	"rcnvm/internal/durable"
 	"rcnvm/internal/engine"
 	"rcnvm/internal/fault"
@@ -85,6 +105,12 @@ func main() {
 		fsyncPol = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always (group commit), interval, none")
 		walSegMB = flag.Int("wal-segment-mb", 8, "WAL segment rotation size in MiB with -data-dir")
 
+		replicaOf    = flag.String("replica", "", "run as a read replica of the primary at this HTTP address: stream its WAL, reject client writes, /readyz 503 until caught up")
+		routeMode    = flag.Bool("route", false, "run as a routing front end over -primary/-replicas instead of serving an engine")
+		primarySpec  = flag.String("primary", "", "router mode: the primary backend as tcpAddr@httpAddr")
+		replicaSpecs = flag.String("replicas", "", "router mode: comma-separated replica backends, each tcpAddr@httpAddr")
+		execDelay    = flag.Duration("exec-delay", 0, "stretch every statement by a fixed sleep (deterministic drain/failover windows for the chaos harness)")
+
 		queryTimeout = flag.Duration("query-timeout", 0, "per-statement deadline (0 = none; requests can only tighten it)")
 		traceEvery   = flag.Int("trace-every", 0, "server-side sample every n-th statement for span tracing (0 = explicit trace requests only)")
 		traceNDJSON  = flag.String("trace-ndjson", "", "append sampled traces to this file as NDJSON Chrome trace events (\"-\" = stderr)")
@@ -95,6 +121,11 @@ func main() {
 		wearRate     = flag.Float64("fault-wear-rate", 0, "asymptotic per-word stuck-at probability once fully worn")
 	)
 	flag.Parse()
+
+	if *routeMode {
+		runRouter(*primarySpec, *replicaSpecs, *tcpAddr, *httpAddr)
+		return
+	}
 
 	mode := engine.DualAddress
 	if *rowOnly {
@@ -109,7 +140,17 @@ func main() {
 		// not reproduce, so a recovered database could silently diverge.
 		fatal(fmt.Errorf("-data-dir cannot be combined with fault injection (replay would not be deterministic)"))
 	}
-	cluster, err := shard.Open(mode, *shards, 0)
+	if *replicaOf != "" {
+		switch {
+		case *dataDir != "":
+			fatal(fmt.Errorf("-replica is volatile: it replays the primary's WAL instead of logging its own (-data-dir belongs on the primary)"))
+		case faultsOn:
+			fatal(fmt.Errorf("-replica cannot inject faults: applied records would diverge from the primary"))
+		case *loadgen > 0 || *sweep != "":
+			fatal(fmt.Errorf("-replica rejects writes; the load generator needs a primary"))
+		}
+	}
+	cl, err := shard.Open(mode, *shards, 0)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,25 +166,23 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
-		rs, err := store.Recover(cluster)
+	}
+	// Recovery is deferred so serve mode can bring its listeners up first:
+	// /healthz answers (the process is alive) and /readyz honestly reports
+	// 503 "wal recovery" while the log replays.
+	recoverWAL := func() {
+		if store == nil {
+			return
+		}
+		rs, err := store.Recover(cl)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("rcnvm-serve: durable in %s (fsync=%s, epoch %d): checkpoint=%v, %d records replayed, %d torn bytes dropped in %v\n",
-			*dataDir, pol, rs.Epoch, rs.Checkpoint, rs.Records, rs.TornBytes, rs.Elapsed.Round(time.Microsecond))
-	}
-	// The demo/load table every front end can query immediately. Created
-	// through the scatter executor so a multi-shard cluster registers it
-	// for hash routing; on one shard this is the plain engine path. A
-	// recovered data directory already has it (the CREATE is in the
-	// checkpoint or WAL), so only create it when absent.
-	if _, ok := cluster.Shard(0).Table("load"); !ok {
-		if _, err := sql.ExecSharded(cluster, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
-			fatal(err)
-		}
+			*dataDir, *fsyncPol, rs.Epoch, rs.Checkpoint, rs.Records, rs.TornBytes, rs.Elapsed.Round(time.Microsecond))
 	}
 	if faultsOn {
-		cluster.EnableFaults(fault.Config{
+		cl.EnableFaults(fault.Config{
 			Enabled:             true,
 			Seed:                *faultSeed,
 			RBER:                *faultRBER,
@@ -171,7 +210,7 @@ func main() {
 		traceSink = f
 	}
 
-	srv := server.NewCluster(cluster, server.Options{
+	srv := server.NewCluster(cl, server.Options{
 		Workers:       *workers,
 		Queue:         *queue,
 		PlanCacheSize: *planSize,
@@ -180,6 +219,8 @@ func main() {
 		TraceSink:     traceSink,
 		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		Durable:       store,
+		ReadOnly:      *replicaOf != "",
+		ExecDelay:     *execDelay,
 	})
 
 	if *pprofAddr != "" {
@@ -191,14 +232,35 @@ func main() {
 		if clients <= 0 {
 			clients = 8
 		}
+		recoverWAL()
+		ensureLoadTable(cl)
 		runBatchSweep(srv, clients, *duration, *sweep, *benchOut, *shards, *fsyncPol, *dataDir != "")
 		closeStore(store)
 		return
 	}
 	if *loadgen > 0 {
+		recoverWAL()
+		ensureLoadTable(cl)
 		runLoadgen(srv, *loadgen, *duration, *timedEv, *batchN)
 		closeStore(store)
 		return
+	}
+
+	// Serve mode. Listeners come up not-ready when there is state to
+	// rebuild first, so routers and probes see an honest 503 instead of a
+	// connection refused or — worse — answers from half-replayed state.
+	var fol *cluster.Follower
+	switch {
+	case *replicaOf != "":
+		srv.SetNotReady("replica catch-up")
+		fol = cluster.NewFollower(srv, cluster.FollowerOptions{
+			PrimaryHTTP: *replicaOf,
+			Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		})
+	case store != nil:
+		srv.SetNotReady("wal recovery")
+	default:
+		ensureLoadTable(cl)
 	}
 
 	addr, err := srv.ListenTCP(*tcpAddr)
@@ -211,20 +273,101 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("rcnvm-serve: HTTP on %s (POST /query, GET /stats, GET /stats/banks, GET /metrics)\n", haddr)
+		fmt.Printf("rcnvm-serve: HTTP on %s (POST /query, GET /stats, GET /stats/banks, GET /metrics, GET /readyz)\n", haddr)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("rcnvm-serve: draining...")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		fatal(fmt.Errorf("shutdown: %w", err))
+	if fol != nil {
+		fol.Start()
+		fmt.Printf("rcnvm-serve: read replica of %s: catching up (/readyz stays 503 until caught up; writes get read_only_replica)\n", *replicaOf)
+	} else if store != nil {
+		recoverWAL()
+		ensureLoadTable(cl)
+		srv.SetReady()
 	}
+
+	drainOnSignal(func(ctx context.Context) error {
+		if fol != nil {
+			fol.Stop()
+		}
+		return srv.Shutdown(ctx)
+	})
 	closeStore(store)
 	fmt.Println("rcnvm-serve: drained, bye")
+}
+
+// runRouter serves the routing front end: no engine of its own, just the
+// classification/forwarding layer over one primary and N replicas.
+func runRouter(primarySpec, replicaSpecs, tcpAddr, httpAddr string) {
+	if primarySpec == "" {
+		fatal(fmt.Errorf("-route requires -primary tcpAddr@httpAddr"))
+	}
+	pb, err := cluster.ParseBackend(primarySpec)
+	if err != nil {
+		fatal(err)
+	}
+	reps, err := cluster.ParseBackends(replicaSpecs)
+	if err != nil {
+		fatal(err)
+	}
+	rt := cluster.NewRouter(cluster.RouterOptions{
+		Primary:  pb,
+		Replicas: reps,
+		Logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+	addr, err := rt.ListenTCP(tcpAddr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rcnvm-serve: routing TCP (NDJSON) on %s -> primary %s, %d replicas\n", addr, pb, len(reps))
+	if httpAddr != "" {
+		haddr, err := rt.ListenHTTP(httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rcnvm-serve: routing HTTP on %s (POST /query, GET /stats)\n", haddr)
+	}
+	drainOnSignal(rt.Shutdown)
+	fmt.Println("rcnvm-serve: drained, bye")
+}
+
+// ensureLoadTable creates the demo/load table every front end can query
+// immediately — through the scatter executor, so a multi-shard cluster
+// registers it for hash routing. A recovered data directory already has
+// it (the CREATE is in the checkpoint or WAL); a replica never creates
+// it (the primary's CREATE arrives through the WAL stream).
+func ensureLoadTable(cl *shard.Cluster) {
+	if _, ok := cl.Shard(0).Table("load"); ok {
+		return
+	}
+	if _, err := sql.ExecSharded(cl, "CREATE TABLE load (id, grp, val) CAPACITY 1048576"); err != nil {
+		fatal(err)
+	}
+}
+
+// drainOnSignal blocks until SIGINT/SIGTERM, then drains with a 10s
+// deadline. A second signal aborts the drain immediately: a wedged or
+// slow drain must never strand an operator's ^C ^C, so the process exits
+// non-zero right away (with -fsync always nothing acknowledged is lost).
+func drainOnSignal(drain func(context.Context) error) {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rcnvm-serve: draining (signal again to force quit)...")
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- drain(ctx)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "rcnvm-serve: force quit, drain aborted")
+		os.Exit(130)
+	}
 }
 
 // closeStore force-syncs and closes the durability store (nil-safe). Runs

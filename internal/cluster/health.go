@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// node is one backend plus its health state. Health transitions come from
+// two sources: the checker's periodic /readyz probes, and MarkDown calls
+// from the router when a forwarded request already proved the node dead —
+// waiting for the next probe round would send more requests into the
+// hole.
+type node struct {
+	be Backend
+
+	healthy atomic.Bool
+	// downSince is the unix-nano timestamp of ejection (0 when healthy);
+	// re-admission probes are throttled to the checker's backoff while a
+	// node stays down, so a flapping replica cannot oscillate per-probe.
+	downSince atomic.Int64
+	// fails counts consecutive probe failures; owned by the checker
+	// goroutine except for MarkDown's saturation store.
+	fails atomic.Int32
+}
+
+func (n *node) markDown() {
+	if n.healthy.CompareAndSwap(true, false) {
+		n.downSince.Store(time.Now().UnixNano())
+	}
+}
+
+// checker probes every replica's /readyz on a fixed interval and flips
+// node health. Ejection needs FailThreshold consecutive failures (one
+// slow probe is not death); re-admission needs one success but waits out
+// ReadmitBackoff from ejection, so a node that is cycling through
+// crash-restart-crash does not bounce in and out of rotation.
+type checker struct {
+	nodes    []*node
+	interval time.Duration
+	timeout  time.Duration
+	thresh   int
+	backoff  time.Duration
+	onChange func(n *node, healthy bool)
+
+	hc   *http.Client
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newChecker(nodes []*node, interval, timeout time.Duration, thresh int, backoff time.Duration, onChange func(*node, bool)) *checker {
+	return &checker{
+		nodes:    nodes,
+		interval: interval,
+		timeout:  timeout,
+		thresh:   thresh,
+		backoff:  backoff,
+		onChange: onChange,
+		hc:       &http.Client{Timeout: timeout},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (c *checker) start() {
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			c.sweep()
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func (c *checker) close() {
+	close(c.stop)
+	<-c.done
+}
+
+// sweep probes every node once, concurrently (a hung node must not delay
+// the others' verdicts past its own probe timeout).
+func (c *checker) sweep() {
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			c.probe(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+func (c *checker) probe(n *node) {
+	if !n.healthy.Load() {
+		// Down node: throttle re-admission attempts to the backoff.
+		if since := n.downSince.Load(); since != 0 && time.Since(time.Unix(0, since)) < c.backoff {
+			return
+		}
+	}
+	if c.ready(n.be.HTTP) {
+		n.fails.Store(0)
+		if n.healthy.CompareAndSwap(false, true) {
+			n.downSince.Store(0)
+			if c.onChange != nil {
+				c.onChange(n, true)
+			}
+		}
+		return
+	}
+	if n.fails.Add(1) >= int32(c.thresh) {
+		if n.healthy.CompareAndSwap(true, false) {
+			n.downSince.Store(time.Now().UnixNano())
+			if c.onChange != nil {
+				c.onChange(n, false)
+			}
+		} else {
+			// Already down (or marked down by a forward failure): keep the
+			// ejection clock current so the backoff window tracks the most
+			// recent evidence.
+			n.downSince.Store(time.Now().UnixNano())
+		}
+	}
+}
+
+// ready is one /readyz probe: healthy means 200 within the timeout. Any
+// other status (503 during recovery/catch-up/drain) or transport failure
+// counts as not ready — the router must not route there.
+func (c *checker) ready(httpAddr string) bool {
+	resp, err := c.hc.Get("http://" + httpAddr + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

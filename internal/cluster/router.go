@@ -1,0 +1,560 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcnvm/internal/server"
+	"rcnvm/internal/sql"
+	"rcnvm/internal/stats"
+)
+
+// Router counter names (the /stats payload of a routing front end).
+const (
+	RouteReads         = "route.reads"           // read-only requests forwarded
+	RouteWrites        = "route.writes"          // write-bearing requests forwarded to the primary
+	RouteReadFailovers = "route.read_failovers"  // reads resent to another backend after a failure
+	RouteEjections     = "route.ejections"       // replicas ejected from rotation
+	RouteReadmissions  = "route.readmissions"    // replicas re-admitted after recovery
+	RoutePrimaryDown   = "route.primary_down"    // writes failed fast: primary unreachable
+	RouteUnknownState  = "route.unknown_state"   // writes failed mid-exchange: state unknown
+	RouteBadRequests   = "route.bad_requests"    // undecodable protocol messages
+)
+
+// RouterOptions configures a routing front end.
+type RouterOptions struct {
+	// Primary is the write target (and the read fallback of last resort).
+	Primary Backend
+	// Replicas are the read targets, load-balanced round-robin while
+	// healthy.
+	Replicas []Backend
+	// CheckInterval is the /readyz probe period (default 50ms).
+	CheckInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 250ms).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// replica (default 2). A forward failure ejects immediately.
+	FailThreshold int
+	// ReadmitBackoff is how long an ejected replica stays out of rotation
+	// before re-admission probes resume (default 250ms).
+	ReadmitBackoff time.Duration
+	// DialTimeout bounds backend session dials (default 500ms), so a dead
+	// primary fails writes fast instead of hanging on connect.
+	DialTimeout time.Duration
+	// Logger, when non-nil, receives health transitions and forward
+	// failures.
+	Logger *slog.Logger
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.CheckInterval <= 0 {
+		o.CheckInterval = 50 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 250 * time.Millisecond
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 2
+	}
+	if o.ReadmitBackoff <= 0 {
+		o.ReadmitBackoff = 250 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Router is the replicated cluster's front door: it speaks the same
+// NDJSON TCP and HTTP /query protocols as a single server, classifies
+// every request read-only vs write-bearing, and forwards accordingly.
+// Clients (including RetryClient) need no changes — failure codes coming
+// back are the same typed, retryable-flagged wire errors a single server
+// produces.
+type Router struct {
+	opts     RouterOptions
+	primary  *node
+	replicas []*node
+	rr       atomic.Uint64 // round-robin cursor over replicas
+	check    *checker
+	met      *stats.Set
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	https     []*http.Server
+	conns     map[net.Conn]struct{}
+	shutting  bool
+	accepting sync.WaitGroup
+}
+
+// NewRouter creates a router. Replicas start healthy and eject on their
+// first failed probes, so a cold start with slow replicas degrades to
+// primary reads instead of erroring.
+func NewRouter(opts RouterOptions) *Router {
+	opts = opts.withDefaults()
+	r := &Router{
+		opts:    opts,
+		primary: &node{be: opts.Primary},
+		met:     stats.NewSet(),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	r.primary.healthy.Store(true)
+	for _, be := range opts.Replicas {
+		n := &node{be: be}
+		n.healthy.Store(true)
+		r.replicas = append(r.replicas, n)
+	}
+	r.check = newChecker(r.replicas, opts.CheckInterval, opts.ProbeTimeout,
+		opts.FailThreshold, opts.ReadmitBackoff, r.onHealthChange)
+	r.check.start()
+	return r
+}
+
+func (r *Router) onHealthChange(n *node, healthy bool) {
+	if healthy {
+		r.met.Inc(RouteReadmissions)
+	} else {
+		r.met.Inc(RouteEjections)
+	}
+	if r.opts.Logger != nil {
+		r.opts.Logger.Info("replica health changed", "backend", n.be.String(), "healthy", healthy)
+	}
+}
+
+// Healthy reports how many replicas are currently in rotation (tests and
+// the smoke script poll it via /stats).
+func (r *Router) Healthy() int {
+	n := 0
+	for _, rep := range r.replicas {
+		if rep.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// session is one router-side client session: its own set of backend
+// sessions, so per-session response ordering holds end to end and one
+// client's broken backend conn never poisons another's.
+type session struct {
+	r     *Router
+	conns map[string]*server.Client // by backend TCP address
+}
+
+func (r *Router) newSession() *session {
+	return &session{r: r, conns: make(map[string]*server.Client)}
+}
+
+func (ss *session) close() {
+	for _, c := range ss.conns {
+		c.Close()
+	}
+}
+
+// conn returns the session's connection to one backend, dialing with the
+// router's timeout on first use.
+func (ss *session) conn(n *node) (*server.Client, error) {
+	if c, ok := ss.conns[n.be.TCP]; ok {
+		return c, nil
+	}
+	c, err := server.DialTimeout(n.be.TCP, ss.r.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	ss.conns[n.be.TCP] = c
+	return c, nil
+}
+
+// drop discards the session's connection to a backend after a failure.
+func (ss *session) drop(n *node) {
+	if c, ok := ss.conns[n.be.TCP]; ok {
+		c.Close()
+		delete(ss.conns, n.be.TCP)
+	}
+}
+
+// readOnlyRequest classifies one request: true when every statement it
+// carries is read-only (safe to serve from a replica and to resend after
+// a mid-exchange failure). Unparseable statements classify as writes and
+// go to the primary — it is the one node whose answer is authoritative.
+func readOnlyRequest(req *server.Request) bool {
+	if len(req.Batch) > 0 {
+		for _, src := range req.Batch {
+			if !sql.ReadOnlySrc(src) {
+				return false
+			}
+		}
+		return true
+	}
+	return sql.ReadOnlySrc(req.Query)
+}
+
+// forward routes one request and always returns a response carrying the
+// client's original request ID (backend sessions number their requests
+// independently, so the forwarded response's ID must be rewritten back).
+func (ss *session) forward(req *server.Request) *server.Response {
+	origID := req.ID
+	var resp *server.Response
+	if readOnlyRequest(req) {
+		ss.r.met.Inc(RouteReads)
+		resp = ss.forwardRead(req)
+	} else {
+		ss.r.met.Inc(RouteWrites)
+		resp = ss.forwardWrite(req)
+	}
+	resp.ID = origID
+	return resp
+}
+
+// forwardRead serves a read-only request: round-robin over healthy
+// replicas, failing over to each remaining healthy replica once and
+// finally to the primary. A backend that fails mid-read is ejected
+// immediately — the request already proved it dead — and the read is
+// resent elsewhere, invisibly to the client. Only when every backend
+// (primary included) fails does the client see an error, and it is
+// retryable.
+func (ss *session) forwardRead(req *server.Request) *server.Response {
+	tried := 0
+	var lastErr error
+	if n := len(ss.r.replicas); n > 0 {
+		start := int(ss.r.rr.Add(1)) % n
+		for i := 0; i < n; i++ {
+			rep := ss.r.replicas[(start+i)%n]
+			if !rep.healthy.Load() {
+				continue
+			}
+			if tried > 0 {
+				ss.r.met.Inc(RouteReadFailovers)
+			}
+			tried++
+			resp, err, fatal := ss.tryBackend(rep, req)
+			if !fatal {
+				return resp
+			}
+			lastErr = err
+		}
+	}
+	// Last resort: the primary serves reads too (a 0-replica "cluster" is
+	// just a proxied single node).
+	if tried > 0 {
+		ss.r.met.Inc(RouteReadFailovers)
+	}
+	resp, err, fatal := ss.tryBackend(ss.r.primary, req)
+	if !fatal {
+		return resp
+	}
+	if lastErr == nil {
+		lastErr = err
+	}
+	return &server.Response{Error: &server.WireError{
+		Code:      server.CodeUnavailable,
+		Message:   fmt.Sprintf("no backend could serve the read: %v", lastErr),
+		Retryable: true,
+	}}
+}
+
+// tryBackend forwards req to one backend. fatal=true means this backend
+// cannot serve it (dial failed, session broke, or the node answered
+// not-ready/draining) and the caller should fail over; fatal=false means
+// the response — success or a semantic error like sql_error — is the
+// request's real outcome and must go back to the client.
+func (ss *session) tryBackend(n *node, req *server.Request) (resp *server.Response, err error, fatal bool) {
+	c, err := ss.conn(n)
+	if err != nil {
+		ss.fail(n, err)
+		return nil, err, true
+	}
+	resp, err = c.Do(*req)
+	if err == nil {
+		return resp, nil, false
+	}
+	if c.Broken() {
+		ss.drop(n)
+		ss.fail(n, err)
+		return nil, err, true
+	}
+	// Intact session, wire-level error. not_ready and shutting_down mean
+	// THIS node cannot serve anyone right now — fail over. Everything
+	// else (sql_error, memory_error, overloaded, timeout) is the
+	// statement's own outcome on a serving node: report it.
+	if resp != nil && resp.Error != nil {
+		switch resp.Error.Code {
+		case server.CodeUnavailable, server.CodeShutdown:
+			ss.fail(n, err)
+			return nil, err, true
+		}
+	}
+	return resp, err, false
+}
+
+// fail records one forward failure against a backend: replicas eject
+// immediately, the primary has no rotation to leave (writes fail typed
+// instead).
+func (ss *session) fail(n *node, err error) {
+	if n != ss.r.primary {
+		wasHealthy := n.healthy.Load()
+		n.markDown()
+		if wasHealthy && !n.healthy.Load() {
+			ss.r.onHealthChange(n, false)
+		}
+	}
+	if ss.r.opts.Logger != nil {
+		ss.r.opts.Logger.Warn("backend failed", "backend", n.be.String(), "error", err)
+	}
+}
+
+// forwardWrite serves a write-bearing request on the primary, with
+// typed, honest failure semantics: a dial failure means the write never
+// ran anywhere (primary_unavailable, retryable), a session that broke
+// mid-exchange means it may have (unknown_state, not retryable). There
+// is no silent retry of writes — exactly-once is the client's contract
+// to manage, and lying about it would corrupt downstream state.
+func (ss *session) forwardWrite(req *server.Request) *server.Response {
+	c, err := ss.conn(ss.r.primary)
+	if err != nil {
+		ss.r.met.Inc(RoutePrimaryDown)
+		if ss.r.opts.Logger != nil {
+			ss.r.opts.Logger.Warn("primary unreachable", "error", err)
+		}
+		return &server.Response{Error: &server.WireError{
+			Code:      server.CodePrimaryDown,
+			Message:   fmt.Sprintf("primary %s unreachable, write not executed: %v", ss.r.primary.be.TCP, err),
+			Retryable: true,
+		}}
+	}
+	resp, err := c.Do(*req)
+	if err != nil && c.Broken() {
+		ss.drop(ss.r.primary)
+		ss.r.met.Inc(RouteUnknownState)
+		return &server.Response{Error: &server.WireError{
+			Code:    server.CodeUnknownState,
+			Message: fmt.Sprintf("session to primary broke mid-write; execution state unknown: %v", err),
+		}}
+	}
+	// Wire errors on an intact session (sql_error, not_ready while the
+	// primary recovers, overloaded...) pass through untouched.
+	return resp
+}
+
+// ListenTCP starts the router's NDJSON front end.
+func (r *Router) ListenTCP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.shutting {
+		r.mu.Unlock()
+		ln.Close()
+		return nil, server.ErrShuttingDown
+	}
+	r.listeners = append(r.listeners, ln)
+	r.mu.Unlock()
+	r.accepting.Add(1)
+	go r.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.accepting.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		if r.shutting {
+			r.mu.Unlock()
+			c.Close()
+			return
+		}
+		r.conns[c] = struct{}{}
+		r.mu.Unlock()
+		go r.serveConn(c)
+	}
+}
+
+func (r *Router) serveConn(c net.Conn) {
+	ss := r.newSession()
+	defer func() {
+		ss.close()
+		c.Close()
+		r.mu.Lock()
+		delete(r.conns, c)
+		r.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	enc := json.NewEncoder(c)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req server.Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			r.met.Inc(RouteBadRequests)
+			if enc.Encode(&server.Response{Error: &server.WireError{
+				Code: server.CodeBadRequest, Message: err.Error(),
+			}}) != nil {
+				return
+			}
+			continue
+		}
+		if enc.Encode(ss.forward(&req)) != nil {
+			return
+		}
+	}
+}
+
+// ListenHTTP starts the router's HTTP front end: POST /query (forwarded
+// like the TCP protocol), GET /stats (router counters + per-replica
+// health), GET /healthz, GET /readyz.
+func (r *Router) ListenHTTP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", r.handleQuery)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// The router is ready as soon as it serves: with every backend down
+	// it still answers every request with a typed retryable error, which
+	// is exactly the contract /readyz vouches for.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	hs := &http.Server{Handler: mux}
+	r.mu.Lock()
+	if r.shutting {
+		r.mu.Unlock()
+		ln.Close()
+		return nil, server.ErrShuttingDown
+	}
+	r.https = append(r.https, hs)
+	r.mu.Unlock()
+	r.accepting.Add(1)
+	go func() {
+		defer r.accepting.Done()
+		hs.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var q server.Request
+	if err := json.NewDecoder(io.LimitReader(req.Body, 1<<20)).Decode(&q); err != nil {
+		r.met.Inc(RouteBadRequests)
+		writeJSON(w, http.StatusBadRequest, &server.Response{Error: &server.WireError{
+			Code: server.CodeBadRequest, Message: err.Error(),
+		}})
+		return
+	}
+	// Each HTTP request uses a throwaway session: HTTP has no session
+	// affinity to preserve, and a pooled backend conn shared across
+	// concurrent handlers would interleave frames.
+	ss := r.newSession()
+	defer ss.close()
+	resp := ss.forward(&q)
+	status := http.StatusOK
+	if resp.Error != nil {
+		switch resp.Error.Code {
+		case server.CodeOverloaded, server.CodeShutdown, server.CodeUnavailable, server.CodePrimaryDown:
+			status = http.StatusServiceUnavailable
+		case server.CodeTimeout:
+			status = http.StatusGatewayTimeout
+		case server.CodeMemory, server.CodeInternal, server.CodeUnknownState:
+			status = http.StatusInternalServerError
+		case server.CodeReadOnly:
+			status = http.StatusForbidden
+		default:
+			status = http.StatusBadRequest
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// RouterStats is the router's GET /stats payload.
+type RouterStats struct {
+	Counters map[string]int64 `json:"counters"`
+	Replicas []ReplicaHealth  `json:"replicas"`
+}
+
+// ReplicaHealth is one replica's rotation state.
+type ReplicaHealth struct {
+	Backend string `json:"backend"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Stats snapshots the router counters and per-replica health.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{Counters: r.met.Snapshot()}
+	for _, name := range []string{
+		RouteReads, RouteWrites, RouteReadFailovers, RouteEjections,
+		RouteReadmissions, RoutePrimaryDown, RouteUnknownState, RouteBadRequests,
+	} {
+		if _, ok := st.Counters[name]; !ok {
+			st.Counters[name] = 0
+		}
+	}
+	for _, n := range r.replicas {
+		st.Replicas = append(st.Replicas, ReplicaHealth{Backend: n.be.String(), Healthy: n.healthy.Load()})
+	}
+	return st
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Shutdown stops the router: the health checker exits, listeners close,
+// open client sessions (and their backend sessions) drop.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.mu.Lock()
+	if r.shutting {
+		r.mu.Unlock()
+		return nil
+	}
+	r.shutting = true
+	listeners := r.listeners
+	https := r.https
+	conns := make([]net.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
+	r.mu.Unlock()
+	r.check.close()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, hs := range https {
+		hs.Shutdown(ctx)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	r.accepting.Wait()
+	return ctx.Err()
+}

@@ -160,7 +160,7 @@ func (s *Store) replayShard(c *shard.Cluster, i int, stats *RecoveryStats) (last
 			if err != nil {
 				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
 			}
-			if err := applyRecord(c, i, rec); err != nil {
+			if err := Apply(c, i, rec); err != nil {
 				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
 			}
 			stats.Records++
@@ -174,9 +174,14 @@ func (s *Store) replayShard(c *shard.Cluster, i int, stats *RecoveryStats) (last
 	return lastIdx, lastSize, nil
 }
 
-// applyRecord re-executes one WAL record against shard i. Replay runs
-// before the commit-log hook is installed, so nothing is re-logged.
-func applyRecord(c *shard.Cluster, i int, rec Record) error {
+// Apply re-executes one WAL record against shard i of c — the single
+// replay path shared by crash recovery and log-shipping followers, so a
+// replica converges on exactly the state recovery would rebuild. It does
+// not lock: recovery runs single-threaded before serving, and a follower
+// applying to a live (serving) cluster must hold shard i's exclusive
+// statement lock across the call. Nothing is re-logged either way — the
+// unlocked sql.Run path never touches the commit-log hook.
+func Apply(c *shard.Cluster, i int, rec Record) error {
 	db := c.Shard(i)
 	switch rec.Kind {
 	case recStatement:

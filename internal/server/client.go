@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcnvm/internal/sql"
@@ -37,7 +38,14 @@ type Client struct {
 
 // Dial opens a session to a server's TCP front end.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout is Dial with a bound on connection establishment — routers
+// use it so a dead backend fails a request in bounded time instead of
+// hanging on the kernel's connect timeout. 0 means no bound.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +104,15 @@ func (c *Client) Batch(stmts []string) ([]*Response, error) {
 // timing the trace also covers the replay's per-memory-request phases.
 func (c *Client) QueryTraced(q string, timing bool) (*Response, error) {
 	return c.do(Request{Query: q, Timing: timing, Trace: true})
+}
+
+// Do sends one raw request on the session and returns its response. The
+// session assigns the wire ID itself (the response-matching invariant
+// must hold per session); callers forwarding on behalf of another
+// protocol party — the cluster router — must rewrite the returned
+// response's ID back to their caller's before relaying it.
+func (c *Client) Do(req Request) (*Response, error) {
+	return c.do(req)
 }
 
 func (c *Client) do(req Request) (*Response, error) {
@@ -159,8 +176,22 @@ func IsRetryable(err error) bool {
 	return false
 }
 
+// ErrGaveUp marks a request whose retry budget ran out — every attempt
+// failed retryably and the client stopped trying (MaxAttempts exhausted
+// or MaxElapsed exceeded). The last underlying failure is wrapped
+// alongside it, so errors.Is works on both.
+var ErrGaveUp = errors.New("server: retry budget exhausted")
+
+// ErrUnknownState marks a write-bearing request that failed mid-exchange:
+// the session broke after the request may have reached the server, so
+// some or all of its mutations may have committed. The client refuses to
+// resend (a blind retry could double-apply); the caller must reconcile by
+// re-reading before deciding.
+var ErrUnknownState = errors.New("server: execution state unknown, not resent")
+
 // RetryPolicy shapes RetryClient's backoff. The zero value means 4
-// attempts starting at 10ms, doubling to a 1s cap, with full jitter.
+// attempts starting at 10ms, doubling to a 1s cap, with full jitter and
+// no elapsed-time bound.
 type RetryPolicy struct {
 	MaxAttempts int
 	BaseDelay   time.Duration
@@ -168,6 +199,13 @@ type RetryPolicy struct {
 	// Timeout is the per-request deadline applied to every attempt
 	// (Client.SetTimeout); 0 disables it.
 	Timeout time.Duration
+	// MaxElapsed is the total retry budget across all attempts and
+	// redials: once a request has been failing for this long, the next
+	// backoff is skipped and the client gives up with ErrGaveUp. It bounds
+	// how long a dead cluster can hold a caller — MaxAttempts bounds the
+	// count, MaxElapsed the wall clock, and whichever trips first wins.
+	// 0 disables the elapsed bound.
+	MaxElapsed time.Duration
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -190,6 +228,13 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 type RetryClient struct {
 	addr string
 	pol  RetryPolicy
+
+	// retries counts resends (attempts beyond each request's first);
+	// gaveup counts requests abandoned with ErrGaveUp. Together they are
+	// the client-side availability signal the chaos harness asserts on:
+	// a masked replica failure shows retries > 0 and gaveup == 0.
+	retries atomic.Int64
+	gaveup  atomic.Int64
 
 	mu  sync.Mutex
 	c   *Client
@@ -222,10 +267,13 @@ func (r *RetryClient) Batch(stmts []string) ([]*Response, error) {
 	readOnly := allReadOnly(stmts)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	start := time.Now()
 	var lastErr error
-	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+	attempt := 0
+	for ; r.budgetLeft(attempt, start); attempt++ {
 		if attempt > 0 {
 			time.Sleep(r.backoff(attempt))
+			r.retries.Add(1)
 		}
 		c, err := r.sessionLocked()
 		if err != nil {
@@ -242,10 +290,18 @@ func (r *RetryClient) Batch(stmts []string) ([]*Response, error) {
 			r.c = nil
 		}
 		if !batchRetryable(err, readOnly) {
+			if !readOnly && !errors.Is(err, ErrShuttingDown) && IsRetryable(err) {
+				// The batch carries mutations and the exchange broke after
+				// the send: its state is unknown. Typed so callers can
+				// distinguish "reconcile before retrying" from a plain error.
+				return nil, fmt.Errorf("%w: %w", ErrUnknownState, err)
+			}
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("server: giving up after %d attempts: %w", r.pol.MaxAttempts, lastErr)
+	r.gaveup.Add(1)
+	return nil, fmt.Errorf("%w: giving up after %d attempts in %v: %w",
+		ErrGaveUp, attempt, time.Since(start).Round(time.Millisecond), lastErr)
 }
 
 // batchRetryable decides whether a failed batch may be resent. Overload is
@@ -270,8 +326,7 @@ func batchRetryable(err error, readOnly bool) bool {
 // as mutations (the server's parser may be newer than ours).
 func allReadOnly(stmts []string) bool {
 	for _, src := range stmts {
-		st, err := sql.Parse(src)
-		if err != nil || !sql.ReadOnly(st) {
+		if !sql.ReadOnlySrc(src) {
 			return false
 		}
 	}
@@ -281,13 +336,44 @@ func allReadOnly(stmts []string) bool {
 // Attempts exposes how many tries do would make (tests).
 func (r *RetryClient) Attempts() int { return r.pol.MaxAttempts }
 
+// Retry counter names, in the same namespace style as the server's.
+const (
+	ClientRetries = "client.retries" // resends beyond each request's first attempt
+	ClientGaveUp  = "client.gaveup"  // requests abandoned with ErrGaveUp
+)
+
+// Counters snapshots the client's retry accounting. A replica failure
+// fully masked by failover shows retries > 0 with gaveup still 0.
+func (r *RetryClient) Counters() map[string]int64 {
+	return map[string]int64{
+		ClientRetries: r.retries.Load(),
+		ClientGaveUp:  r.gaveup.Load(),
+	}
+}
+
+// budgetLeft reports whether one more attempt fits the retry budget: the
+// attempt count under MaxAttempts and, when MaxElapsed is set, the
+// elapsed wall clock under it. The first attempt is always in budget.
+func (r *RetryClient) budgetLeft(attempt int, start time.Time) bool {
+	if attempt >= r.pol.MaxAttempts {
+		return false
+	}
+	if attempt == 0 || r.pol.MaxElapsed == 0 {
+		return true
+	}
+	return time.Since(start) < r.pol.MaxElapsed
+}
+
 func (r *RetryClient) do(req Request) (*Response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	start := time.Now()
 	var lastErr error
-	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+	attempt := 0
+	for ; r.budgetLeft(attempt, start); attempt++ {
 		if attempt > 0 {
 			time.Sleep(r.backoff(attempt))
+			r.retries.Add(1)
 		}
 		c, err := r.sessionLocked()
 		if err != nil {
@@ -307,7 +393,9 @@ func (r *RetryClient) do(req Request) (*Response, error) {
 			return resp, err
 		}
 	}
-	return nil, fmt.Errorf("server: giving up after %d attempts: %w", r.pol.MaxAttempts, lastErr)
+	r.gaveup.Add(1)
+	return nil, fmt.Errorf("%w: giving up after %d attempts in %v: %w",
+		ErrGaveUp, attempt, time.Since(start).Round(time.Millisecond), lastErr)
 }
 
 // sessionLocked returns the live session, dialing one if needed.

@@ -160,7 +160,7 @@ func TestPanicRecoveredAsInternalError(t *testing.T) {
 // in the background, and the server (including shutdown drain) stays
 // correct.
 func TestQueryDeadline(t *testing.T) {
-	s, addr := newTestServer(t, Options{execDelay: 300 * time.Millisecond})
+	s, addr := newTestServer(t, Options{ExecDelay: 300 * time.Millisecond})
 	c, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +192,7 @@ func TestQueryDeadline(t *testing.T) {
 // TestServerDefaultTimeout checks Options.QueryTimeout applies without a
 // per-request override.
 func TestServerDefaultTimeout(t *testing.T) {
-	s, _ := newTestServer(t, Options{execDelay: 300 * time.Millisecond, QueryTimeout: 40 * time.Millisecond})
+	s, _ := newTestServer(t, Options{ExecDelay: 300 * time.Millisecond, QueryTimeout: 40 * time.Millisecond})
 	r := s.Do(&Request{Query: "SELECT 1"})
 	if r.Error == nil || r.Error.Code != CodeTimeout {
 		t.Fatalf("got %+v, want code %q", r.Error, CodeTimeout)
@@ -203,7 +203,7 @@ func TestServerDefaultTimeout(t *testing.T) {
 // deadline: when it fires the session is unusable by construction, and
 // the client says so.
 func TestClientDeadlineBreaksSession(t *testing.T) {
-	_, addr := newTestServer(t, Options{execDelay: 300 * time.Millisecond})
+	_, addr := newTestServer(t, Options{ExecDelay: 300 * time.Millisecond})
 	c, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)

@@ -9,22 +9,23 @@ import (
 // Server counter names, kept in the same stats.Set namespace style as the
 // simulator counters so one snapshot renders uniformly.
 const (
-	Queries         = "server.queries"          // statements executed (ok or sql error)
-	QueryErrors     = "server.query_errors"     // statements that failed (parse/exec)
-	TimedQueries    = "server.timed_queries"    // statements with timing attribution
-	Rejected        = "server.rejected"         // admissions refused: pool queue full
-	RejectedDrain   = "server.rejected_drain"   // admissions refused: shutting down
-	RowsReturned    = "server.rows_returned"    // result rows sent to clients
-	SessionsOpened  = "server.sessions_opened"  // TCP connections accepted
-	SessionsActive  = "server.sessions_active"  // TCP connections currently open
-	BadRequests     = "server.bad_requests"     // undecodable protocol messages
-	MemoryErrors    = "server.memory_errors"    // statements failed by uncorrectable memory errors
-	Panics          = "server.panics"           // executor panics recovered into internal_error
-	Timeouts        = "server.timeouts"         // statements past their deadline
-	TracedQueries   = "server.traced_queries"   // statements sampled for span tracing
-	EncodeErrors    = "server.encode_errors"    // responses computed but undeliverable (encode failed)
-	Batches         = "server.batches"          // batch requests executed
-	BatchStatements = "server.batch_statements" // statements carried inside batch requests
+	Queries          = "server.queries"            // statements executed (ok or sql error)
+	QueryErrors      = "server.query_errors"       // statements that failed (parse/exec)
+	TimedQueries     = "server.timed_queries"      // statements with timing attribution
+	Rejected         = "server.rejected"           // admissions refused: pool queue full
+	RejectedDrain    = "server.rejected_drain"     // admissions refused: shutting down
+	RejectedNotReady = "server.rejected_not_ready" // admissions refused: recovery/catch-up/drain readiness gate
+	RowsReturned     = "server.rows_returned"      // result rows sent to clients
+	SessionsOpened   = "server.sessions_opened"    // TCP connections accepted
+	SessionsActive   = "server.sessions_active"    // TCP connections currently open
+	BadRequests      = "server.bad_requests"       // undecodable protocol messages
+	MemoryErrors     = "server.memory_errors"      // statements failed by uncorrectable memory errors
+	Panics           = "server.panics"             // executor panics recovered into internal_error
+	Timeouts         = "server.timeouts"           // statements past their deadline
+	TracedQueries    = "server.traced_queries"     // statements sampled for span tracing
+	EncodeErrors     = "server.encode_errors"      // responses computed but undeliverable (encode failed)
+	Batches          = "server.batches"            // batch requests executed
+	BatchStatements  = "server.batch_statements"   // statements carried inside batch requests
 )
 
 // Plan-cache counter names, sourced from sql.PlanCache.Counters and merged

@@ -14,9 +14,9 @@ import (
 // and dashboards never see series appear mid-run.
 var serverCounterNames = []string{
 	Queries, QueryErrors, TimedQueries, TracedQueries, Rejected,
-	RejectedDrain, RowsReturned, SessionsOpened, SessionsActive,
-	BadRequests, MemoryErrors, Panics, Timeouts, EncodeErrors,
-	Batches, BatchStatements,
+	RejectedDrain, RejectedNotReady, RowsReturned, SessionsOpened,
+	SessionsActive, BadRequests, MemoryErrors, Panics, Timeouts,
+	EncodeErrors, Batches, BatchStatements,
 }
 
 // planCacheCounterNames is every plancache.* counter; /metrics renders them
@@ -92,7 +92,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteGauge(w, "rcnvm_server_pool_workers", float64(s.pool.Workers()))
 	obs.WriteGauge(w, "rcnvm_server_pool_depth", float64(s.pool.Depth()))
 	obs.WriteGauge(w, "rcnvm_server_pool_capacity", float64(s.pool.Capacity()))
-	obs.WriteGauge(w, "rcnvm_server_shards", float64(s.cluster.N()))
+	obs.WriteGauge(w, "rcnvm_server_shards", float64(s.Cluster().N()))
 
 	s.tel.WriteProm(w, "rcnvm_bank")
 	if s.shardTels != nil {
@@ -109,8 +109,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("shard"); q != "" {
 		i, err := strconv.Atoi(q)
-		if err != nil || i < 0 || i >= s.cluster.N() {
-			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", s.cluster.N()), http.StatusBadRequest)
+		if err != nil || i < 0 || i >= s.Cluster().N() {
+			http.Error(w, fmt.Sprintf("shard must be in [0,%d)", s.Cluster().N()), http.StatusBadRequest)
 			return
 		}
 		s.writeJSON(w, http.StatusOK, s.ShardTelemetry(i).Snapshot())

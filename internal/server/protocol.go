@@ -45,6 +45,22 @@ const (
 	// keeps running to completion on its worker (the engine cannot abandon
 	// a scan mid-flight), but the response slot is released.
 	CodeTimeout = "deadline_exceeded"
+	// CodeUnavailable: the node is alive but not ready to serve queries
+	// (WAL recovery, replica catch-up, drain). Retryable — the same
+	// request succeeds once the node is ready or a router picks another.
+	CodeUnavailable = "not_ready"
+	// CodeReadOnly: the statement mutates but this node is a read replica;
+	// send it to the primary. Not retryable against the same node.
+	CodeReadOnly = "read_only_replica"
+	// CodeUnknownState: a write-bearing request failed mid-exchange and
+	// its execution state is unknown — some prefix may have committed.
+	// Not retryable: blindly resending could double-apply mutations; the
+	// caller must reconcile (re-read) before deciding.
+	CodeUnknownState = "unknown_state"
+	// CodePrimaryDown: the router could not reach the primary, and the
+	// write was never admitted anywhere. Retryable — nothing executed, so
+	// a resend after the primary recovers is safe.
+	CodePrimaryDown = "primary_unavailable"
 )
 
 // Typed sentinel errors for admission-control outcomes; both the pool and
@@ -164,6 +180,7 @@ func errResponse(id uint64, code, msg string) *Response {
 	return &Response{ID: id, Error: &WireError{
 		Code:      code,
 		Message:   msg,
-		Retryable: code == CodeOverloaded || code == CodeTimeout,
+		Retryable: code == CodeOverloaded || code == CodeTimeout ||
+			code == CodeUnavailable || code == CodePrimaryDown,
 	}}
 }

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+
+	"rcnvm/internal/durable"
+	"rcnvm/internal/engine"
+	"rcnvm/internal/shard"
+)
+
+// Replication wiring: the endpoints and state transitions that let one
+// server act as a primary (serving its WAL to followers), a read replica
+// (applying shipped records while rejecting client writes), or a node
+// that is temporarily neither (recovering, catching up, draining).
+//
+// The readiness split matters for routing: /healthz answers "is the
+// process alive" and stays 200 through recovery and drain; /readyz
+// answers "is it safe to send queries here" and goes 503 whenever
+// serving would return stale, partial, or soon-to-vanish state. Routers
+// and the chaos harness select on /readyz only.
+
+// Cluster returns the cluster the server currently serves. Statements
+// load it once at execution start, so a concurrent SwapCluster never
+// splits one statement across two clusters.
+func (s *Server) Cluster() *shard.Cluster { return s.cluster.Load() }
+
+// SwapCluster replaces the served cluster — a replica re-syncing from a
+// checkpoint after the primary's WAL epoch rotated away builds the new
+// state off to the side and swaps it in whole. Call it only while the
+// server is not ready (the follower does), so no new statement starts
+// against half-loaded state; statements already running finish against
+// the old cluster, which stays valid read-only garbage until they do.
+func (s *Server) SwapCluster(c *shard.Cluster) { s.cluster.Store(c) }
+
+// SetNotReady marks the server unsafe to route to, with the reason
+// /readyz reports: "wal recovery", "replica catch-up", "draining".
+// Queries are rejected with the retryable CodeUnavailable until SetReady.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+
+// SetReady marks the server safe to route to again.
+func (s *Server) SetReady() { s.notReady.Store(nil) }
+
+// Ready reports the readiness state and, when not ready, the reason.
+func (s *Server) Ready() (bool, string) {
+	if r := s.notReady.Load(); r != nil {
+		return false, *r
+	}
+	return true, ""
+}
+
+// handleReadyz serves GET /readyz: 200 "ok" when queries are safe here,
+// 503 with the reason during WAL recovery, replica catch-up, and drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.Ready(); !ok {
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// ChecksumResponse is the GET /checksum payload: one SHA-256 per shard
+// over the engine's canonical snapshot encoding. The engine is
+// deterministic and Save sorts its catalog, so two nodes that applied the
+// same statements hash identically — the replica-convergence check is a
+// string compare.
+type ChecksumResponse struct {
+	Mode   string   `json:"mode"`
+	Shards []string `json:"shards"`
+}
+
+// Checksums computes the per-shard state hashes (the in-process view of
+// GET /checksum). Each shard hashes under its read lock, so a hash is
+// internally consistent; for a cross-node convergence check, quiesce
+// writes first (the chaos harness does).
+func (s *Server) Checksums() ChecksumResponse {
+	c := s.Cluster()
+	out := ChecksumResponse{Mode: c.Shard(0).Mode().String(), Shards: make([]string, c.N())}
+	for i := 0; i < c.N(); i++ {
+		db := c.Shard(i)
+		h := sha256.New()
+		db.RLock()
+		err := db.Save(h)
+		db.RUnlock()
+		if err != nil {
+			out.Shards[i] = "error: " + err.Error()
+			continue
+		}
+		out.Shards[i] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
+}
+
+func (s *Server) handleChecksum(w http.ResponseWriter, r *http.Request) {
+	if !s.readyOr503(w) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.Checksums())
+}
+
+// readyOr503 gates the shipping/convergence endpoints on readiness.
+// During WAL recovery the replay mutates shards and log state without
+// their serving locks (nothing else can touch them pre-ready), so these
+// endpoints must not read until the node is ready; 503 tells followers
+// and the chaos harness to come back, exactly like a query would be told.
+func (s *Server) readyOr503(w http.ResponseWriter) bool {
+	if ok, reason := s.Ready(); !ok {
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return false
+	}
+	return true
+}
+
+// WALStateResponse is the GET /wal/state payload a follower polls: the
+// live epoch, the geometry it must match, and every shard's append
+// position (a catch-up target — a follower at or past these positions
+// has applied everything acknowledged before the call).
+type WALStateResponse struct {
+	Epoch  uint64                  `json:"epoch"`
+	Mode   string                  `json:"mode"`
+	Shards int                     `json:"shards"`
+	Pos    []durable.ShardPosition `json:"pos"`
+}
+
+// walStore returns the durable store for a /wal/* request, writing the
+// 404 itself when the server is volatile or the store is not attached.
+func (s *Server) walStore(w http.ResponseWriter) *durable.Store {
+	if s.opts.Durable == nil {
+		http.Error(w, "server is volatile (no -data-dir): nothing to ship", http.StatusNotFound)
+		return nil
+	}
+	return s.opts.Durable
+}
+
+// handleWALState serves GET /wal/state.
+func (s *Server) handleWALState(w http.ResponseWriter, r *http.Request) {
+	if !s.readyOr503(w) {
+		return
+	}
+	st := s.walStore(w)
+	if st == nil {
+		return
+	}
+	epoch, mode, shards, pos, err := st.StreamState()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, WALStateResponse{
+		Epoch: epoch, Mode: mode.String(), Shards: shards, Pos: pos,
+	})
+}
+
+// handleWALRead serves GET /wal/read?shard=i&epoch=e&seg=n&off=o[&max=b]:
+// raw framed WAL bytes from one segment. The X-Wal-Rotated: 1 header
+// means the segment is complete and fully served — advance to (n+1, 0).
+// 410 Gone means the epoch was checkpointed away: re-sync via
+// /wal/checkpoint + /wal/registry, then stream the new epoch.
+func (s *Server) handleWALRead(w http.ResponseWriter, r *http.Request) {
+	if !s.readyOr503(w) {
+		return
+	}
+	st := s.walStore(w)
+	if st == nil {
+		return
+	}
+	q := r.URL.Query()
+	shardIdx, err1 := strconv.Atoi(q.Get("shard"))
+	epoch, err2 := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	seg, err3 := strconv.Atoi(q.Get("seg"))
+	off, err4 := strconv.ParseInt(q.Get("off"), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		http.Error(w, "shard, epoch, seg, off query parameters are required integers", http.StatusBadRequest)
+		return
+	}
+	maxBytes := 1 << 20
+	if m := q.Get("max"); m != "" {
+		if v, err := strconv.Atoi(m); err == nil && v > 0 && v < maxBytes {
+			maxBytes = v
+		}
+	}
+	data, rotated, err := st.ReadWAL(shardIdx, epoch, seg, off, maxBytes)
+	switch {
+	case errors.Is(err, durable.ErrEpochGone):
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if rotated {
+		w.Header().Set("X-Wal-Rotated", "1")
+	}
+	w.Write(data)
+}
+
+// handleWALCheckpoint serves GET /wal/checkpoint?shard=i: the shard's
+// current-epoch snapshot stream (engine.Load format), with the epoch in
+// X-Wal-Epoch. 404 when no checkpoint exists yet (epoch 1) — the
+// follower starts from an empty cluster and streams the WAL instead.
+func (s *Server) handleWALCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.readyOr503(w) {
+		return
+	}
+	st := s.walStore(w)
+	if st == nil {
+		return
+	}
+	shardIdx, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		http.Error(w, "shard query parameter required", http.StatusBadRequest)
+		return
+	}
+	rc, epoch, err := st.OpenCheckpoint(shardIdx)
+	if errors.Is(err, durable.ErrNoCheckpoint) {
+		w.Header().Set("X-Wal-Epoch", strconv.FormatUint(epoch, 10))
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Wal-Epoch", strconv.FormatUint(epoch, 10))
+	io.Copy(w, rc)
+}
+
+// handleWALRegistry serves GET /wal/registry: the current-epoch registry
+// snapshot (framed gob; durable.DecodeRegistrySnapshot decodes it).
+func (s *Server) handleWALRegistry(w http.ResponseWriter, r *http.Request) {
+	if !s.readyOr503(w) {
+		return
+	}
+	st := s.walStore(w)
+	if st == nil {
+		return
+	}
+	rc, epoch, err := st.OpenRegistry()
+	if errors.Is(err, durable.ErrNoCheckpoint) {
+		w.Header().Set("X-Wal-Epoch", strconv.FormatUint(epoch, 10))
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Wal-Epoch", strconv.FormatUint(epoch, 10))
+	io.Copy(w, rc)
+}
+
+// Abort kills the server without a drain: listeners, HTTP servers, and
+// every open connection close immediately, in-flight statements get no
+// response, nothing checkpoints. It is the in-process stand-in for
+// kill -9 that the chaos tests use — everything a real SIGKILL would
+// leave behind (an unsynced WAL tail, clients mid-request) is left
+// behind here too. The worker pool is left running so a statement that
+// was mid-execution can finish and release its locks; it simply has no
+// one to answer to.
+func (s *Server) Abort() {
+	s.SetNotReady("aborted")
+	s.mu.Lock()
+	if s.shutting {
+		s.mu.Unlock()
+		return
+	}
+	s.shutting = true
+	listeners := s.listeners
+	https := s.https
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, hs := range https {
+		hs.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.accepting.Wait()
+}
+
+// ApplyWAL applies one shipped WAL record to shard i of the served
+// cluster under the shard's exclusive statement lock — the follower-side
+// half of log shipping. It must only be called on a ReadOnly server
+// (client writes are rejected, so shipped records are the sole mutation
+// source and orderings cannot interleave).
+func (s *Server) ApplyWAL(i int, rec durable.Record) error {
+	c := s.Cluster()
+	db := c.Shard(i)
+	db.Lock()
+	defer db.Unlock()
+	return durable.Apply(c, i, rec)
+}
+
+// Mode reports the engine addressing mode the served cluster runs
+// (followers check it against the primary's before applying anything).
+func (s *Server) Mode() engine.Mode { return s.Cluster().Shard(0).Mode() }

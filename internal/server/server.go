@@ -68,14 +68,21 @@ type Options struct {
 	PlanCacheSize int
 	// Durable, when non-nil, is the durability subsystem already recovered
 	// onto the served cluster. The server merges its counters into /stats
-	// and /metrics, serves POST /checkpoint, and checkpoints once after a
-	// successful shutdown drain so a clean restart replays no WAL. Nil (the
-	// default) serves fully volatile, exactly as before.
+	// and /metrics, serves POST /checkpoint, checkpoints once after a
+	// successful shutdown drain so a clean restart replays no WAL, and
+	// serves the /wal/* log-shipping endpoints replicas stream from. Nil
+	// (the default) serves fully volatile, exactly as before.
 	Durable *durable.Store
+	// ReadOnly marks a read replica: mutating statements (and batches
+	// containing one) are rejected with CodeReadOnly instead of executing.
+	// The replica's state advances only through shipped WAL records, never
+	// through client writes, so it cannot diverge from the primary.
+	ReadOnly bool
 
-	// execDelay stretches every statement; tests use it to make
-	// drain/overload windows deterministic.
-	execDelay time.Duration
+	// ExecDelay stretches every statement by a fixed sleep. Tests and the
+	// smoke scripts (via rcnvm-serve -exec-delay) use it to make drain,
+	// overload, and force-quit windows deterministic.
+	ExecDelay time.Duration
 	// panicOn makes the executor panic on this exact query text; tests
 	// use it to exercise the recover path.
 	panicOn string
@@ -85,10 +92,20 @@ type Options struct {
 // with its own simulated memory channel. A 1-shard cluster behaves exactly
 // like the unsharded server.
 type Server struct {
-	cluster *shard.Cluster
+	// cluster is swappable at runtime: a replica re-syncing after an epoch
+	// rotation builds a fresh cluster from the primary's checkpoint and
+	// swaps it in (SwapCluster) while the server is not-ready. Straggling
+	// statements finish against the cluster they loaded; new ones see the
+	// replacement.
+	cluster atomic.Pointer[shard.Cluster]
 	pool    *Pool
 	met     *Metrics
 	opts    Options
+	// notReady holds the reason the server is not ready to serve queries
+	// (nil = ready). /readyz mirrors it and doHeld rejects with the
+	// retryable CodeUnavailable while set, so routers and clients never see
+	// partial state during WAL recovery, replica catch-up, or drain.
+	notReady atomic.Pointer[string]
 	// plans caches parsed statement templates by shape; nil when
 	// Options.PlanCacheSize is negative. Invalidation on DDL happens
 	// inside the sql layer (generation bump on successful CREATE TABLE).
@@ -132,13 +149,13 @@ func NewCluster(c *shard.Cluster, opts Options) *Server {
 	}
 	banks := config.RCNVM().Device.Geom.TotalBanks()
 	s := &Server{
-		cluster: c,
-		pool:    NewPool(opts.Workers, opts.Queue),
-		met:     NewMetrics(),
-		opts:    opts,
-		conns:   make(map[net.Conn]struct{}),
-		tel:     obs.NewTelemetry(banks, obs.DefaultSampleIntervalPs),
+		pool:  NewPool(opts.Workers, opts.Queue),
+		met:   NewMetrics(),
+		opts:  opts,
+		conns: make(map[net.Conn]struct{}),
+		tel:   obs.NewTelemetry(banks, obs.DefaultSampleIntervalPs),
 	}
+	s.cluster.Store(c)
 	if opts.PlanCacheSize >= 0 {
 		s.plans = sql.NewPlanCache(opts.PlanCacheSize)
 	}
@@ -291,9 +308,18 @@ func (s *Server) ListenHTTP(addr string) (net.Addr, error) {
 	mux.HandleFunc("/stats/banks", s.handleBanks)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/checksum", s.handleChecksum)
+	mux.HandleFunc("/wal/state", s.handleWALState)
+	mux.HandleFunc("/wal/read", s.handleWALRead)
+	mux.HandleFunc("/wal/checkpoint", s.handleWALCheckpoint)
+	mux.HandleFunc("/wal/registry", s.handleWALRegistry)
+	// /healthz is liveness only: the process is up and can answer HTTP.
+	// Readiness (safe to route queries here) is /readyz — a recovering or
+	// draining node is alive but not ready.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	hs := &http.Server{Handler: mux}
 	s.mu.Lock()
 	if s.shutting {
@@ -336,12 +362,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if resp.Error != nil {
 		switch resp.Error.Code {
-		case CodeOverloaded, CodeShutdown:
+		case CodeOverloaded, CodeShutdown, CodeUnavailable, CodePrimaryDown:
 			status = http.StatusServiceUnavailable
 		case CodeTimeout:
 			status = http.StatusGatewayTimeout
 		case CodeMemory, CodeInternal:
 			status = http.StatusInternalServerError
+		case CodeReadOnly:
+			status = http.StatusForbidden
 		default:
 			status = http.StatusBadRequest
 		}
@@ -429,8 +457,9 @@ func (s *Server) PlanCache() *sql.PlanCache { return s.plans }
 // faultCounts sums the fault injectors' accounting across every shard;
 // ok is false when no shard has fault injection enabled.
 func (s *Server) faultCounts() (sum fault.Counts, ok bool) {
-	for i := 0; i < s.cluster.N(); i++ {
-		inj := s.cluster.Shard(i).Faults()
+	c := s.Cluster()
+	for i := 0; i < c.N(); i++ {
+		inj := c.Shard(i).Faults()
 		if inj == nil {
 			continue
 		}
@@ -475,6 +504,16 @@ func (s *Server) doHeld(req *Request) (resp *Response, release func()) {
 		s.mu.Unlock()
 		s.met.Set.Inc(RejectedDrain)
 		return errResponse(req.ID, CodeShutdown, ErrShuttingDown.Error()), nil
+	}
+	// Not-ready rejection also happens before admission: a recovering or
+	// catching-up node would serve stale or partial data. Checked after
+	// shutting so a draining server keeps its give-up code — not_ready is
+	// retryable (the node becomes ready; a router picks another one),
+	// shutting_down is not.
+	if reason := s.notReady.Load(); reason != nil {
+		s.mu.Unlock()
+		s.met.Set.Inc(RejectedNotReady)
+		return errResponse(req.ID, CodeUnavailable, "not ready: "+*reason), nil
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
@@ -567,14 +606,24 @@ func (s *Server) execute(req *Request) (resp *Response) {
 			resp = errResponse(req.ID, CodeInternal, fmt.Sprintf("internal error: %v", r))
 		}
 	}()
-	if s.opts.execDelay > 0 {
-		time.Sleep(s.opts.execDelay)
+	if s.opts.ExecDelay > 0 {
+		time.Sleep(s.opts.ExecDelay)
 	}
 	if len(req.Batch) > 0 {
 		return s.executeBatch(req, start)
 	}
 	if s.opts.panicOn != "" && req.Query == s.opts.panicOn {
 		panic("injected test panic")
+	}
+	if s.opts.ReadOnly {
+		if st, perr := sql.Parse(req.Query); perr == nil && !sql.ReadOnly(st) {
+			// Unparseable statements fall through to the executor for the
+			// ordinary sql_error; only well-formed mutations get the typed
+			// replica rejection.
+			s.met.observe(time.Since(start), 0, true)
+			return errResponse(req.ID, CodeReadOnly,
+				"read replica: mutations must go to the primary")
+		}
 	}
 	// rec stays nil unless this statement is traced (explicitly or by
 	// TraceEvery sampling): the untraced path records nothing.
@@ -593,9 +642,9 @@ func (s *Server) execute(req *Request) (resp *Response) {
 		// exclusive lock; the plan cache is a hot-path optimization, so the
 		// traced path stays on the uncached parser by design.
 		s.met.Set.Inc(TimedQueries)
-		res, streams, err = sql.ExecShardedTracedObserved(s.cluster, req.Query, rec, int64(req.ID))
+		res, streams, err = sql.ExecShardedTracedObserved(s.Cluster(), req.Query, rec, int64(req.ID))
 	} else {
-		res, err = sql.ExecShardedObservedCached(s.cluster, s.plans, req.Query, rec, int64(req.ID))
+		res, err = sql.ExecShardedObservedCached(s.Cluster(), s.plans, req.Query, rec, int64(req.ID))
 	}
 	if err != nil {
 		return s.execError(req.ID, start, err)
@@ -629,7 +678,16 @@ func (s *Server) execute(req *Request) (resp *Response) {
 // except on panic. start is the admission timestamp from execute, so the
 // latency histogram sees the whole batch as one sample.
 func (s *Server) executeBatch(req *Request, start time.Time) *Response {
-	results, errs := sql.ExecBatchSharded(s.cluster, s.plans, req.Batch)
+	if s.opts.ReadOnly {
+		for _, src := range req.Batch {
+			if st, perr := sql.Parse(src); perr == nil && !sql.ReadOnly(st) {
+				s.met.observeBatch(time.Since(start), len(req.Batch), len(req.Batch), 0)
+				return errResponse(req.ID, CodeReadOnly,
+					"read replica: batch contains a mutation; send it to the primary")
+			}
+		}
+	}
+	results, errs := sql.ExecBatchSharded(s.Cluster(), s.plans, req.Batch)
 	out := make([]*Response, len(results))
 	rows, failed := 0, 0
 	for i := range results {
@@ -777,7 +835,7 @@ func (s *Server) replayTiming(streams []trace.Stream, rec *obs.Recorder, tid int
 		if r.rowPs > t.RowPs {
 			t.RowPs = r.rowPs
 		}
-		if s.cluster.N() > 1 {
+		if s.Cluster().N() > 1 {
 			t.Shards = append(t.Shards, ShardTiming{
 				Shard: r.shard, MemOps: r.memOps, DualPs: r.dualPs, RowPs: r.rowPs,
 			})
@@ -794,6 +852,7 @@ func (s *Server) replayTiming(streams []trace.Stream, rec *obs.Recorder, tid int
 // response is delivered, then listeners and connections close. It returns
 // ctx.Err() if the context expires before the drain finishes.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.SetNotReady("draining") // /readyz flips 503 for the whole drain
 	s.mu.Lock()
 	if s.shutting {
 		s.mu.Unlock()

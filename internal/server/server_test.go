@@ -182,7 +182,7 @@ func TestHTTPQueryAndStats(t *testing.T) {
 // TestOverloadRejection saturates a 1-worker/1-slot pool and checks that
 // excess requests get the typed overloaded error instead of queueing.
 func TestOverloadRejection(t *testing.T) {
-	s, addr := newTestServer(t, Options{Workers: 1, Queue: 1, execDelay: 50 * time.Millisecond})
+	s, addr := newTestServer(t, Options{Workers: 1, Queue: 1, ExecDelay: 50 * time.Millisecond})
 	c, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
@@ -224,7 +224,7 @@ func TestOverloadRejection(t *testing.T) {
 // flight when Shutdown begins still gets its full response, while new
 // queries are refused with the shutdown code.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s, addr := newTestServer(t, Options{execDelay: 200 * time.Millisecond})
+	s, addr := newTestServer(t, Options{ExecDelay: 200 * time.Millisecond})
 	c, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)

@@ -110,7 +110,7 @@ func TestShardedServerEndToEnd(t *testing.T) {
 	if len(agg.Banks) == 0 {
 		t.Fatal("/stats/banks aggregate has no banks")
 	}
-	for i := 0; i < s.cluster.N(); i++ {
+	for i := 0; i < s.Cluster().N(); i++ {
 		var per struct {
 			Banks []json.RawMessage `json:"banks"`
 		}
@@ -141,7 +141,7 @@ func TestShardedServerEndToEnd(t *testing.T) {
 // TestEncodeErrorCounter: a client that hangs up before its response is
 // written must show up in server.encode_errors (and not as a silent drop).
 func TestEncodeErrorCounter(t *testing.T) {
-	s, addr := newTestServer(t, Options{execDelay: 150 * time.Millisecond})
+	s, addr := newTestServer(t, Options{ExecDelay: 150 * time.Millisecond})
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)

@@ -40,6 +40,17 @@ func ReadOnly(st Statement) bool {
 	}
 }
 
+// ReadOnlySrc reports whether src parses and is read-only — the shared
+// classification clients and routers use to decide whether a statement is
+// safe to resend with unknown execution state, or to serve from a read
+// replica. Unparseable statements classify as NOT read-only: the server's
+// parser may accept what ours rejects, so the conservative answer routes
+// them to the primary and never resends them blindly.
+func ReadOnlySrc(src string) bool {
+	st, err := Parse(src)
+	return err == nil && ReadOnly(st)
+}
+
 // mutates reports whether a statement changes database state that
 // recovery must reproduce. EXPLAIN ANALYZE executes its inner statement,
 // so it mutates exactly when the inner statement does.

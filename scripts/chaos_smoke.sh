@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the replicated serving set, on real binaries:
+# 1 primary (durable) + 2 read replicas + 1 router as separate processes.
+# A replica is kill -9'd under client load — the router must mask it
+# (zero client-visible errors); the replica restarts, catches up, and all
+# three nodes must byte-converge on /checksum. Then the primary itself is
+# kill -9'd and recovered from its WAL, and the set must converge again.
+# Finally: a second SIGINT during a drain must force-quit non-zero.
+set -euo pipefail
+
+DIR=$(mktemp -d)
+DATA="$DIR/data"
+BASE=${CHAOS_SMOKE_PORT:-7270}
+P_TCP=$BASE;         P_HTTP=$((BASE + 1))
+R1_TCP=$((BASE + 2)); R1_HTTP=$((BASE + 3))
+R2_TCP=$((BASE + 4)); R2_HTTP=$((BASE + 5))
+RT_TCP=$((BASE + 6)); RT_HTTP=$((BASE + 7))
+PIDS=()
+
+cleanup() {
+    for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+# query <port> <sql> -> one NDJSON response line (bash /dev/tcp; no netcat).
+query() {
+    exec 3<>"/dev/tcp/127.0.0.1/$1"
+    printf '{"query":"%s"}\n' "$2" >&3
+    IFS= read -r line <&3
+    exec 3<&- 3>&-
+    printf '%s\n' "$line"
+}
+
+# http_get <port> <path> -> "<status> <body>" using HTTP/1.0 over /dev/tcp.
+http_get() {
+    local port=$1 path=$2 status="000" body="" line inbody=0
+    if ! { exec 4<>"/dev/tcp/127.0.0.1/$port"; } 2>/dev/null; then
+        printf '000\n'
+        return 0
+    fi
+    printf 'GET %s HTTP/1.0\r\nHost: localhost\r\n\r\n' "$path" >&4
+    while IFS= read -r line <&4; do
+        line=${line%$'\r'}
+        if [ "$inbody" = 1 ]; then
+            body+="$line"
+        elif [ "$status" = "000" ]; then
+            status=$(printf '%s' "$line" | awk '{print $2}')
+        elif [ -z "$line" ]; then
+            inbody=1
+        fi
+    done
+    exec 4<&- 4>&-
+    printf '%s %s\n' "$status" "$body"
+}
+
+wait_ready() { # <http port> <name>
+    for _ in $(seq 1 100); do
+        if [ "$(http_get "$1" /readyz | awk '{print $1}')" = 200 ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $2 never became ready" >&2
+    cat "$DIR"/*.log >&2 || true
+    return 1
+}
+
+checksum() { # <http port> -> the shards hash array
+    http_get "$1" /checksum | sed 's/^[0-9]* //'
+}
+
+wait_converged() { # <name...>: poll until primary and both replicas hash equal
+    for _ in $(seq 1 100); do
+        local p r1 r2
+        p=$(checksum "$P_HTTP"); r1=$(checksum "$R1_HTTP"); r2=$(checksum "$R2_HTTP")
+        if [ -n "$p" ] && [ "$p" = "$r1" ] && [ "$p" = "$r2" ]; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: replicas never converged with the primary:" >&2
+    echo "  primary: $(checksum "$P_HTTP")" >&2
+    echo "  r1:      $(checksum "$R1_HTTP")" >&2
+    echo "  r2:      $(checksum "$R2_HTTP")" >&2
+    tail -n 20 "$DIR"/*.log >&2 || true
+    return 1
+}
+
+start_primary() {
+    "$DIR/rcnvm-serve" -tcp ":$P_TCP" -http ":$P_HTTP" -shards 2 -data-dir "$DATA" \
+        >>"$DIR/primary.log" 2>&1 &
+    P_PID=$!
+    PIDS+=("$P_PID")
+}
+
+# start_replica <tcp> <http> <logname>: sets REPLICA_PID. Must run in the
+# main shell (not $(...)) so cleanup sees the pid.
+start_replica() {
+    "$DIR/rcnvm-serve" -tcp ":$1" -http ":$2" -shards 2 -replica "127.0.0.1:$P_HTTP" \
+        >>"$DIR/$3.log" 2>&1 &
+    REPLICA_PID=$!
+    PIDS+=("$REPLICA_PID")
+}
+
+echo "== building rcnvm-serve"
+go build -o "$DIR/rcnvm-serve" ./cmd/rcnvm-serve
+
+echo "== starting 1 primary + 2 replicas + router"
+start_primary
+start_replica "$R1_TCP" "$R1_HTTP" replica1; R1_PID=$REPLICA_PID
+start_replica "$R2_TCP" "$R2_HTTP" replica2; R2_PID=$REPLICA_PID
+"$DIR/rcnvm-serve" -route -tcp ":$RT_TCP" -http ":$RT_HTTP" \
+    -primary "127.0.0.1:$P_TCP@127.0.0.1:$P_HTTP" \
+    -replicas "127.0.0.1:$R1_TCP@127.0.0.1:$R1_HTTP,127.0.0.1:$R2_TCP@127.0.0.1:$R2_HTTP" \
+    >"$DIR/router.log" 2>&1 &
+RT_PID=$!
+PIDS+=("$RT_PID")
+
+wait_ready "$P_HTTP" primary
+query "$RT_TCP" "CREATE TABLE smoke (k, grp, val) CAPACITY 4096" >/dev/null
+for i in 0 1 2 3; do
+    query "$RT_TCP" "INSERT INTO smoke VALUES ($((i*4)), $i, 1), ($((i*4+1)), $i, 2), ($((i*4+2)), $i, 3), ($((i*4+3)), $i, 4)" >/dev/null
+done
+wait_ready "$R1_HTTP" replica1
+wait_ready "$R2_HTTP" replica2
+wait_converged
+echo "   seeded 16 rows; replicas converged"
+
+echo "== killing replica1 under read load (zero client errors expected)"
+LOAD_OUT="$DIR/load.out"
+: >"$LOAD_OUT"
+(
+    for _ in $(seq 1 200); do
+        query "$RT_TCP" "SELECT COUNT(*) FROM smoke" >>"$LOAD_OUT" || echo TRANSPORT_ERROR >>"$LOAD_OUT"
+    done
+) &
+LOAD_PID=$!
+sleep 0.3
+kill -9 "$R1_PID"
+wait "$R1_PID" 2>/dev/null || true
+wait "$LOAD_PID"
+
+BAD=$(grep -c -e '"error"' -e TRANSPORT_ERROR "$LOAD_OUT" || true)
+TOTAL=$(wc -l <"$LOAD_OUT")
+[ "$BAD" = 0 ] || { echo "FAIL: $BAD/$TOTAL reads failed during replica kill:" >&2; grep -m3 -e '"error"' -e TRANSPORT_ERROR "$LOAD_OUT" >&2; exit 1; }
+WRONG=$(grep -vc '\[\[16\]\]' "$LOAD_OUT" || true)
+[ "$WRONG" = 0 ] || { echo "FAIL: $WRONG/$TOTAL reads returned wrong data" >&2; exit 1; }
+echo "   $TOTAL reads, 0 errors while replica1 died"
+
+echo "== restarting replica1: must catch up and byte-converge"
+start_replica "$R1_TCP" "$R1_HTTP" replica1; R1_PID=$REPLICA_PID
+wait_ready "$R1_HTTP" replica1-restarted
+wait_converged
+echo "   replica1 caught up; checksums equal"
+
+echo "== killing the primary, recovering from its WAL"
+query "$RT_TCP" "INSERT INTO smoke VALUES (100, 9, 90)" >/dev/null
+kill -9 "$P_PID"
+wait "$P_PID" 2>/dev/null || true
+start_primary
+wait_ready "$P_HTTP" primary-recovered
+grep -q "records replayed" "$DIR/primary.log" || { echo "FAIL: no recovery banner" >&2; cat "$DIR/primary.log" >&2; exit 1; }
+query "$RT_TCP" "INSERT INTO smoke VALUES (101, 9, 91)" >/dev/null
+wait_converged
+COUNT=$(query "$RT_TCP" "SELECT COUNT(*) FROM smoke")
+echo "$COUNT" | grep -q '\[\[18\]\]' || { echo "FAIL: COUNT after primary recovery: $COUNT, want 18" >&2; exit 1; }
+echo "   primary recovered; replica set converged on 18 rows"
+
+echo "== SIGINT twice must force-quit non-zero"
+SLOW_TCP=$((BASE + 8))
+"$DIR/rcnvm-serve" -tcp ":$SLOW_TCP" -http "" -exec-delay 5s >"$DIR/slow.log" 2>&1 &
+SLOW_PID=$!
+PIDS+=("$SLOW_PID")
+for _ in $(seq 1 50); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$SLOW_TCP") 2>/dev/null; then break; fi
+    sleep 0.1
+done
+query "$SLOW_TCP" "SELECT COUNT(*) FROM load" >/dev/null &   # in-flight: drain would wait 5s
+sleep 0.3
+kill -INT "$SLOW_PID"
+sleep 0.3
+kill -INT "$SLOW_PID"
+RC=0
+wait "$SLOW_PID" || RC=$?
+[ "$RC" -ne 0 ] || { echo "FAIL: second SIGINT exited 0 (drain was not aborted)" >&2; exit 1; }
+grep -q "force quit" "$DIR/slow.log" || { echo "FAIL: no force-quit banner:" >&2; cat "$DIR/slow.log" >&2; exit 1; }
+echo "   force quit with exit code $RC"
+
+echo "PASS: replica kill masked, replica re-converged, primary recovered, force quit works"
