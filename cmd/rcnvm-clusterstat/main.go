@@ -1,0 +1,199 @@
+// Command rcnvm-clusterstat renders a one-screen topology view of a
+// replicated RC-NVM cluster from the router's federated GET /cluster/stats
+// endpoint: per node the role, reachability, readiness, replication lag,
+// query throughput, tail latency and ejection count.
+//
+//	$ rcnvm-clusterstat -router localhost:7277
+//	$ rcnvm-clusterstat -router localhost:7277 -watch -interval 1s
+//	$ rcnvm-clusterstat -router localhost:7277 -json
+//
+// QPS is computed client-side from consecutive samples of each node's
+// cumulative query counter (the first render shows "-" since one sample
+// has no rate). -watch redraws in place; -json dumps the raw federated
+// payload for scripting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"rcnvm/internal/cluster"
+)
+
+func main() {
+	router := flag.String("router", "localhost:7277", "router HTTP address (host:port)")
+	watch := flag.Bool("watch", false, "redraw continuously instead of printing once")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period with -watch")
+	jsonOut := flag.Bool("json", false, "dump the raw /cluster/stats JSON and exit")
+	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	flag.Parse()
+
+	hc := &http.Client{Timeout: *timeout}
+	url := "http://" + *router + "/cluster/stats"
+
+	if *jsonOut {
+		body, err := fetch(hc, url)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(body)
+		if len(body) == 0 || body[len(body)-1] != '\n' {
+			fmt.Println()
+		}
+		return
+	}
+
+	var prev *sample
+	for {
+		body, err := fetch(hc, url)
+		if err != nil {
+			if !*watch {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "fetch %s: %v\n", url, err)
+			time.Sleep(*interval)
+			continue
+		}
+		var cs cluster.ClusterStats
+		if err := json.Unmarshal(body, &cs); err != nil {
+			fatal(fmt.Errorf("decode %s: %w", url, err))
+		}
+		cur := newSample(cs)
+		if *watch {
+			// Clear the screen and home the cursor so the view redraws in
+			// place like top(1).
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		render(os.Stdout, *router, cs, prev, cur)
+		if !*watch {
+			return
+		}
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(hc *http.Client, url string) ([]byte, error) {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// sample remembers each node's cumulative query count at one instant so
+// the next render can show a rate.
+type sample struct {
+	at      time.Time
+	queries map[string]int64
+}
+
+func newSample(cs cluster.ClusterStats) *sample {
+	s := &sample{at: time.Now(), queries: make(map[string]int64, len(cs.Nodes))}
+	for _, n := range cs.Nodes {
+		if n.Up {
+			s.queries[n.Node] = n.Queries
+		}
+	}
+	return s
+}
+
+// qps formats the query rate between two samples ("-" without a prior
+// sample of this node).
+func (s *sample) qps(prev *sample, nodeName string, queries int64, up bool) string {
+	if !up || prev == nil {
+		return "-"
+	}
+	p, ok := prev.queries[nodeName]
+	if !ok {
+		return "-"
+	}
+	dt := s.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return "-"
+	}
+	d := queries - p
+	if d < 0 {
+		d = 0 // counter reset (node restarted)
+	}
+	return fmt.Sprintf("%.1f", float64(d)/dt)
+}
+
+// lagSummary renders a node's replication lag: the worst shard's records
+// behind ("0" when caught up, "-" for the primary / unknown).
+func lagSummary(n cluster.ClusterNodeStats) string {
+	if n.Replication == nil {
+		return "-"
+	}
+	var worst int64
+	for _, sh := range n.Replication.Shards {
+		if sh.RecordsBehind > worst {
+			worst = sh.RecordsBehind
+		}
+	}
+	if worst == 0 && !n.Replication.CaughtUp {
+		return "catching-up"
+	}
+	return fmt.Sprintf("%d", worst)
+}
+
+func render(w io.Writer, router string, cs cluster.ClusterStats, prev, cur *sample) {
+	fmt.Fprintf(w, "cluster via %s at %s\n", router, time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "router: reads=%d writes=%d failovers=%d ejections=%d readmissions=%d\n\n",
+		cs.Router.Counters[cluster.RouteReads],
+		cs.Router.Counters[cluster.RouteWrites],
+		cs.Router.Counters[cluster.RouteReadFailovers],
+		cs.Router.Counters[cluster.RouteEjections],
+		cs.Router.Counters[cluster.RouteReadmissions])
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tROLE\tUP\tREADY\tLAG(recs)\tQPS\tP99(ms)\tRT-P99(ms)\tEJECT\tNOTE")
+	nodes := append([]cluster.ClusterNodeStats(nil), cs.Nodes...)
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Role == "primary" && nodes[j].Role != "primary" })
+	for _, n := range nodes {
+		note := n.ReadyReason
+		if !n.Up && n.Error != "" {
+			note = n.Error
+		}
+		if note == "" && !n.Healthy {
+			note = n.LastFailure
+		}
+		if len(note) > 48 {
+			note = note[:45] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.2f\t%.2f\t%d\t%s\n",
+			n.Node, n.Role, mark(n.Up), mark(n.Ready),
+			lagSummary(n),
+			cur.qps(prev, n.Node, n.Queries, n.Up),
+			n.P99Ms, n.RouterReadP99Ms, n.Ejections, note)
+	}
+	tw.Flush()
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcnvm-clusterstat:", err)
+	os.Exit(1)
+}

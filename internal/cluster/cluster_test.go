@@ -78,7 +78,7 @@ func startReplicaAt(t *testing.T, primaryHTTP string, shards int, tcpAddr, httpA
 	srv := server.NewCluster(c, server.Options{ReadOnly: true, ExecDelay: delay})
 	tcp := listenTCPRetry(t, srv, tcpAddr)
 	http := listenHTTPRetry(t, srv, httpAddr)
-	fol := NewFollower(srv, FollowerOptions{PrimaryHTTP: primaryHTTP, Interval: 2 * time.Millisecond})
+	fol := NewFollower(srv, FollowerOptions{PrimaryHTTP: primaryHTTP, Interval: 2 * time.Millisecond, StatePoll: 5 * time.Millisecond})
 	fol.Start()
 	r := &testReplica{srv: srv, fol: fol, tcp: tcp, http: http}
 	t.Cleanup(func() { r.kill() })
@@ -181,7 +181,7 @@ func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
 func waitConverged(t *testing.T, p *testPrimary, r *testReplica) {
 	t.Helper()
 	waitUntil(t, 15*time.Second, "replica catch-up", func() bool {
-		epoch, _, _, pos, err := p.store.StreamState()
+		epoch, _, _, pos, _, err := p.store.StreamState()
 		if err != nil {
 			return false
 		}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcnvm/internal/durable"
@@ -34,6 +35,11 @@ type FollowerOptions struct {
 	FetchTimeout time.Duration
 	// MaxBytes caps one /wal/read response (default 1MiB).
 	MaxBytes int
+	// StatePoll is the cadence of the dedicated /wal/state poll that
+	// refreshes the primary's cumulative totals for replication-lag
+	// gauges (default 250ms). It runs independently of the apply loop, so
+	// lag keeps rising while the apply loop is paused or stuck.
+	StatePoll time.Duration
 	// Logger, when non-nil, receives sync/catch-up transitions.
 	Logger *slog.Logger
 }
@@ -48,7 +54,20 @@ func (o FollowerOptions) withDefaults() FollowerOptions {
 	if o.MaxBytes <= 0 {
 		o.MaxBytes = 1 << 20
 	}
+	if o.StatePoll <= 0 {
+		o.StatePoll = 250 * time.Millisecond
+	}
 	return o
+}
+
+// shardApplied is the follower's per-shard apply accounting within the
+// current epoch: how many records and framed bytes it has applied since
+// (seg 1, off 0), plus when the last record landed. Mirrors the primary's
+// durable.ShardTotals, so the difference is the replication lag.
+type shardApplied struct {
+	recs  int64
+	bytes int64
+	last  time.Time
 }
 
 // Follower replicates a primary's state onto a read-replica server by
@@ -74,10 +93,26 @@ type Follower struct {
 	epoch  uint64
 	pos    []durable.ShardPosition
 	caught bool
+	// Replication-lag accounting: what this replica has applied per shard
+	// (reset at bootstrap — streaming restarts at the epoch's beginning)
+	// against the primary's epoch-cumulative totals from its last
+	// successful /wal/state poll (primAt; zero time = never polled).
+	applied    []shardApplied
+	primTotals []durable.ShardTotals
+	primAt     time.Time
+
+	// paused suspends the apply loop (Pause/Resume) while the state poll
+	// keeps running, so lag gauges keep rising against a frozen replica.
+	paused atomic.Bool
+	// parked reports that the apply loop has actually reached the pause
+	// gate — Pause returns immediately, but one in-flight round may still
+	// apply records until the loop wraps around and parks.
+	parked atomic.Bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+	pollDone chan struct{}
 }
 
 // NewFollower creates a follower applying onto srv's cluster. srv must
@@ -86,18 +121,23 @@ type Follower struct {
 // reports catch-up — Start enforces both.
 func NewFollower(srv *server.Server, opts FollowerOptions) *Follower {
 	return &Follower{
-		srv:  srv,
-		opts: opts.withDefaults(),
-		hc:   &http.Client{Timeout: opts.withDefaults().FetchTimeout},
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		srv:      srv,
+		opts:     opts.withDefaults(),
+		hc:       &http.Client{Timeout: opts.withDefaults().FetchTimeout},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		pollDone: make(chan struct{}),
 	}
 }
 
-// Start launches the shipping loop. Stop tears it down.
+// Start launches the shipping loop and the lag-tracking state poll, and
+// registers the follower as the server's replication-status provider so
+// the replica's /stats and /metrics report lag. Stop tears it down.
 func (f *Follower) Start() {
 	f.srv.SetNotReady("replica catch-up")
+	f.srv.SetReplicationStatus(f.Lag)
 	go f.run()
+	go f.pollState()
 }
 
 // Stop terminates the shipping loop and waits for it to exit. Safe to
@@ -105,7 +145,24 @@ func (f *Follower) Start() {
 func (f *Follower) Stop() {
 	f.stopOnce.Do(func() { close(f.stop) })
 	<-f.done
+	<-f.pollDone
 }
+
+// Pause suspends the apply loop after its current round: no further WAL
+// records are pulled or applied until Resume. The replica stays ready and
+// keeps serving (increasingly stale) reads, and the state poll keeps
+// refreshing the primary's totals, so lag gauges rise — the operator
+// story for maintenance windows, and what the chaos harness uses to prove
+// the gauges move. Pause returns without waiting; Parked reports when the
+// loop has actually stopped applying.
+func (f *Follower) Pause() { f.paused.Store(true) }
+
+// Resume lets a paused apply loop continue tailing the WAL.
+func (f *Follower) Resume() { f.paused.Store(false) }
+
+// Parked reports whether the apply loop is sitting at the pause gate (no
+// record will be applied until Resume).
+func (f *Follower) Parked() bool { return f.parked.Load() }
 
 // Status reports the follower's applied positions (epoch and per-shard
 // WAL offsets) and whether it has reached its bootstrap catch-up target.
@@ -181,10 +238,23 @@ func (f *Follower) bootstrap() ([]durable.ShardPosition, error) {
 	for i := range pos {
 		pos[i] = durable.ShardPosition{Seg: 1, Off: 0}
 	}
+	now := time.Now()
+	applied := make([]shardApplied, st.Shards)
+	for i := range applied {
+		applied[i].last = now
+	}
 	f.mu.Lock()
 	f.epoch = st.Epoch
 	f.pos = pos
 	f.caught = false
+	// Lag accounting restarts with the epoch: applied counts reset (the
+	// stream re-begins at seg 1 off 0) and the primary totals observed in
+	// this same /wal/state response are the first baseline.
+	f.applied = applied
+	f.primTotals = st.Totals
+	if st.Totals != nil {
+		f.primAt = now
+	}
 	f.mu.Unlock()
 	if f.opts.Logger != nil {
 		f.opts.Logger.Info("replica bootstrapped", "epoch", st.Epoch,
@@ -232,6 +302,14 @@ func (f *Follower) loadCheckpoint(c *shard.Cluster, epoch uint64) error {
 // Readiness flips on the first time every shard reaches target.
 func (f *Follower) stream(target []durable.ShardPosition) bool {
 	for {
+		for f.paused.Load() {
+			f.parked.Store(true)
+			if !f.sleep(f.opts.Interval) {
+				f.parked.Store(false)
+				return false
+			}
+		}
+		f.parked.Store(false)
 		advanced := false
 		for i := range target {
 			n, err := f.pullShard(i)
@@ -321,6 +399,7 @@ func (f *Follower) pullShard(i int) (int, error) {
 	rotated := resp.Header.Get("X-Wal-Rotated") == "1"
 
 	applied := 0
+	recs := 0
 	rest := data
 	for len(rest) > 0 {
 		payload, next, err := durable.DecodeFrame(rest)
@@ -341,6 +420,7 @@ func (f *Follower) pullShard(i int) (int, error) {
 			return 0, fmt.Errorf("cluster: shard %d apply: %w", i, err)
 		}
 		applied += len(rest) - len(next)
+		recs++
 		rest = next
 	}
 	pos.Off += int64(applied)
@@ -349,8 +429,86 @@ func (f *Follower) pullShard(i int) (int, error) {
 	}
 	f.mu.Lock()
 	f.pos[i] = pos
+	if i < len(f.applied) {
+		// Frame bytes consumed here count exactly as the primary's Append
+		// counts them, so applied totals subtract cleanly from its
+		// epoch-cumulative totals.
+		f.applied[i].recs += int64(recs)
+		f.applied[i].bytes += int64(applied)
+		if recs > 0 {
+			f.applied[i].last = time.Now()
+		}
+	}
 	f.mu.Unlock()
 	return applied, nil
+}
+
+// pollState is the dedicated lag-tracking loop: every StatePoll it
+// refreshes the primary's epoch-cumulative totals from /wal/state. It is
+// deliberately independent of the apply loop — a paused or wedged apply
+// path is exactly when an operator needs the lag gauges to keep moving.
+// Poll failures leave the last totals in place; StateAgeSeconds on the
+// reported status says how stale they are.
+func (f *Follower) pollState() {
+	defer close(f.pollDone)
+	for {
+		if !f.sleep(f.opts.StatePoll) {
+			return
+		}
+		st, err := f.fetchState()
+		if err != nil {
+			continue
+		}
+		f.mu.Lock()
+		// Totals from a different epoch would subtract nonsense from our
+		// applied counts; the apply loop notices the rotation itself (410
+		// from /wal/read) and re-bootstraps, which resets both sides.
+		if st.Epoch == f.epoch && st.Totals != nil {
+			f.primTotals = st.Totals
+			f.primAt = time.Now()
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Lag reports the replica's replication status: per-shard records/bytes
+// behind the primary (exact as of the last /wal/state poll) and the wall
+// time since each shard last applied a record. Registered with the server
+// at Start, so the replica's /stats and /metrics expose it.
+func (f *Follower) Lag() server.ReplicationStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	st := server.ReplicationStatus{Epoch: f.epoch, CaughtUp: f.caught}
+	if !f.primAt.IsZero() {
+		st.StateAgeSeconds = now.Sub(f.primAt).Seconds()
+	}
+	for i := range f.applied {
+		lag := server.ReplicaShardLag{
+			Shard:               i,
+			LastApplyAgeSeconds: now.Sub(f.applied[i].last).Seconds(),
+		}
+		if i < len(f.primTotals) {
+			// Clamp at zero: the replica can observe totals older than its
+			// applied counts (state poll raced an apply round).
+			if d := f.primTotals[i].Recs - f.applied[i].recs; d > 0 {
+				lag.RecordsBehind = d
+			}
+			if d := f.primTotals[i].Bytes - f.applied[i].bytes; d > 0 {
+				lag.BytesBehind = d
+			}
+		}
+		st.Shards = append(st.Shards, lag)
+	}
+	// A replica past its bootstrap target but with known records pending is
+	// not caught up — a paused apply loop must read as lagging, not done.
+	for _, sh := range st.Shards {
+		if sh.RecordsBehind > 0 {
+			st.CaughtUp = false
+			break
+		}
+	}
+	return st
 }
 
 // fetchState retrieves the primary's /wal/state.

@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rcnvm/internal/stats"
 )
 
 // node is one backend plus its health state. Health transitions come from
@@ -15,6 +19,10 @@ import (
 // hole.
 type node struct {
 	be Backend
+	// name is the node's stable cluster label ("primary", "replica-0", ...)
+	// used on federated metric series, per-backend latency histograms and
+	// /cluster/stats rows.
+	name string
 
 	healthy atomic.Bool
 	// downSince is the unix-nano timestamp of ejection (0 when healthy);
@@ -24,12 +32,41 @@ type node struct {
 	// fails counts consecutive probe failures; owned by the checker
 	// goroutine except for MarkDown's saturation store.
 	fails atomic.Int32
+	// rttNanos is the round-trip time of the most recent completed health
+	// probe (0 until the first probe answers), successful or not.
+	rttNanos atomic.Int64
+	// lastFailure is the human-readable reason of the most recent probe or
+	// forward failure (nil until the node first fails). It is evidence, not
+	// state: it persists across re-admission so an operator can see why a
+	// now-healthy node was last ejected.
+	lastFailure atomic.Pointer[string]
+	// ejections counts healthy->unhealthy transitions of this node.
+	ejections atomic.Int64
+	// lat is the router-side latency distribution of reads served by this
+	// node (the time spent waiting on the backend, excluding dial). Set at
+	// construction, observed lock-free on the forward path.
+	lat *stats.Histogram
 }
 
 func (n *node) markDown() {
 	if n.healthy.CompareAndSwap(true, false) {
 		n.downSince.Store(time.Now().UnixNano())
 	}
+}
+
+// noteFailure records why the node last failed (probe verdicts and
+// forward errors both land here).
+func (n *node) noteFailure(reason string) {
+	n.lastFailure.Store(&reason)
+}
+
+// failureReason returns the most recent failure reason ("" if the node
+// has never failed).
+func (n *node) failureReason() string {
+	if p := n.lastFailure.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // checker probes every replica's /readyz on a fixed interval and flips
@@ -107,7 +144,10 @@ func (c *checker) probe(n *node) {
 			return
 		}
 	}
-	if c.ready(n.be.HTTP) {
+	start := time.Now()
+	ok, reason := c.ready(n.be.HTTP)
+	n.rttNanos.Store(time.Since(start).Nanoseconds())
+	if ok {
 		n.fails.Store(0)
 		if n.healthy.CompareAndSwap(false, true) {
 			n.downSince.Store(0)
@@ -117,6 +157,7 @@ func (c *checker) probe(n *node) {
 		}
 		return
 	}
+	n.noteFailure(reason)
 	if n.fails.Add(1) >= int32(c.thresh) {
 		if n.healthy.CompareAndSwap(true, false) {
 			n.downSince.Store(time.Now().UnixNano())
@@ -134,13 +175,20 @@ func (c *checker) probe(n *node) {
 
 // ready is one /readyz probe: healthy means 200 within the timeout. Any
 // other status (503 during recovery/catch-up/drain) or transport failure
-// counts as not ready — the router must not route there.
-func (c *checker) ready(httpAddr string) bool {
+// counts as not ready — the router must not route there. The reason
+// string ("" when ready) carries the transport error or the status plus
+// the body the backend sent (its readiness gate explains itself there:
+// "wal recovery", "replica catch-up", "draining").
+func (c *checker) ready(httpAddr string) (ok bool, reason string) {
 	resp, err := c.hc.Get("http://" + httpAddr + "/readyz")
 	if err != nil {
-		return false
+		return false, err.Error()
 	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode == http.StatusOK {
+		return true, ""
+	}
+	return false, fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rcnvm/internal/obs"
 	"rcnvm/internal/server"
 	"rcnvm/internal/sql"
 	"rcnvm/internal/stats"
@@ -50,6 +51,11 @@ type RouterOptions struct {
 	// DialTimeout bounds backend session dials (default 500ms), so a dead
 	// primary fails writes fast instead of hanging on connect.
 	DialTimeout time.Duration
+	// ScrapeTimeout bounds the whole federated scrape behind
+	// /cluster/metrics and /cluster/stats (default 2s). A backend that
+	// cannot answer within it is reported down (cluster_node_up 0), never
+	// waited on.
+	ScrapeTimeout time.Duration
 	// Logger, when non-nil, receives health transitions and forward
 	// failures.
 	Logger *slog.Logger
@@ -71,6 +77,9 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 500 * time.Millisecond
 	}
+	if o.ScrapeTimeout <= 0 {
+		o.ScrapeTimeout = 2 * time.Second
+	}
 	return o
 }
 
@@ -87,6 +96,12 @@ type Router struct {
 	rr       atomic.Uint64 // round-robin cursor over replicas
 	check    *checker
 	met      *stats.Set
+	// traceSeq assigns cluster-unique trace ids to traced requests that
+	// arrive without one.
+	traceSeq atomic.Int64
+	// scrape is the HTTP client of the federated /cluster/metrics and
+	// /cluster/stats scrapes.
+	scrape *http.Client
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -103,13 +118,14 @@ func NewRouter(opts RouterOptions) *Router {
 	opts = opts.withDefaults()
 	r := &Router{
 		opts:    opts,
-		primary: &node{be: opts.Primary},
+		primary: &node{be: opts.Primary, name: "primary", lat: stats.NewHistogram()},
 		met:     stats.NewSet(),
+		scrape:  &http.Client{Timeout: opts.ScrapeTimeout},
 		conns:   make(map[net.Conn]struct{}),
 	}
 	r.primary.healthy.Store(true)
-	for _, be := range opts.Replicas {
-		n := &node{be: be}
+	for i, be := range opts.Replicas {
+		n := &node{be: be, name: fmt.Sprintf("replica-%d", i), lat: stats.NewHistogram()}
 		n.healthy.Store(true)
 		r.replicas = append(r.replicas, n)
 	}
@@ -124,6 +140,7 @@ func (r *Router) onHealthChange(n *node, healthy bool) {
 		r.met.Inc(RouteReadmissions)
 	} else {
 		r.met.Inc(RouteEjections)
+		n.ejections.Add(1)
 	}
 	if r.opts.Logger != nil {
 		r.opts.Logger.Info("replica health changed", "backend", n.be.String(), "healthy", healthy)
@@ -161,12 +178,15 @@ func (ss *session) close() {
 }
 
 // conn returns the session's connection to one backend, dialing with the
-// router's timeout on first use.
-func (ss *session) conn(n *node) (*server.Client, error) {
+// router's timeout on first use (the dial becomes a trace span when the
+// request is traced).
+func (ss *session) conn(n *node, ft *fwdTrace) (*server.Client, error) {
 	if c, ok := ss.conns[n.be.TCP]; ok {
 		return c, nil
 	}
+	start := time.Now()
 	c, err := server.DialTimeout(n.be.TCP, ss.r.opts.DialTimeout)
+	ft.spanNode("dial", n.name, start)
 	if err != nil {
 		return nil, err
 	}
@@ -203,14 +223,18 @@ func readOnlyRequest(req *server.Request) bool {
 // independently, so the forwarded response's ID must be rewritten back).
 func (ss *session) forward(req *server.Request) *server.Response {
 	origID := req.ID
+	ft := ss.beginTrace(req)
+	start := time.Now()
 	var resp *server.Response
 	if readOnlyRequest(req) {
 		ss.r.met.Inc(RouteReads)
-		resp = ss.forwardRead(req)
+		resp = ss.forwardRead(req, ft)
 	} else {
 		ss.r.met.Inc(RouteWrites)
-		resp = ss.forwardWrite(req)
+		resp = ss.forwardWrite(req, ft)
 	}
+	ft.span("route", start)
+	ft.stitch(resp)
 	resp.ID = origID
 	return resp
 }
@@ -222,7 +246,7 @@ func (ss *session) forward(req *server.Request) *server.Response {
 // resent elsewhere, invisibly to the client. Only when every backend
 // (primary included) fails does the client see an error, and it is
 // retryable.
-func (ss *session) forwardRead(req *server.Request) *server.Response {
+func (ss *session) forwardRead(req *server.Request, ft *fwdTrace) *server.Response {
 	tried := 0
 	var lastErr error
 	if n := len(ss.r.replicas); n > 0 {
@@ -234,9 +258,10 @@ func (ss *session) forwardRead(req *server.Request) *server.Response {
 			}
 			if tried > 0 {
 				ss.r.met.Inc(RouteReadFailovers)
+				ft.spanNode("failover", rep.name, time.Now())
 			}
 			tried++
-			resp, err, fatal := ss.tryBackend(rep, req)
+			resp, err, fatal := ss.tryBackend(rep, req, ft)
 			if !fatal {
 				return resp
 			}
@@ -247,8 +272,9 @@ func (ss *session) forwardRead(req *server.Request) *server.Response {
 	// just a proxied single node).
 	if tried > 0 {
 		ss.r.met.Inc(RouteReadFailovers)
+		ft.spanNode("failover", ss.r.primary.name, time.Now())
 	}
-	resp, err, fatal := ss.tryBackend(ss.r.primary, req)
+	resp, err, fatal := ss.tryBackend(ss.r.primary, req, ft)
 	if !fatal {
 		return resp
 	}
@@ -267,14 +293,18 @@ func (ss *session) forwardRead(req *server.Request) *server.Response {
 // not-ready/draining) and the caller should fail over; fatal=false means
 // the response — success or a semantic error like sql_error — is the
 // request's real outcome and must go back to the client.
-func (ss *session) tryBackend(n *node, req *server.Request) (resp *server.Response, err error, fatal bool) {
-	c, err := ss.conn(n)
+func (ss *session) tryBackend(n *node, req *server.Request, ft *fwdTrace) (resp *server.Response, err error, fatal bool) {
+	c, err := ss.conn(n, ft)
 	if err != nil {
 		ss.fail(n, err)
 		return nil, err, true
 	}
+	start := time.Now()
 	resp, err = c.Do(*req)
+	n.lat.Observe(time.Since(start).Nanoseconds())
+	ft.spanNode("backend_wait", n.name, start)
 	if err == nil {
+		ft.served(n.name)
 		return resp, nil, false
 	}
 	if c.Broken() {
@@ -293,6 +323,7 @@ func (ss *session) tryBackend(n *node, req *server.Request) (resp *server.Respon
 			return nil, err, true
 		}
 	}
+	ft.served(n.name)
 	return resp, err, false
 }
 
@@ -300,6 +331,7 @@ func (ss *session) tryBackend(n *node, req *server.Request) (resp *server.Respon
 // immediately, the primary has no rotation to leave (writes fail typed
 // instead).
 func (ss *session) fail(n *node, err error) {
+	n.noteFailure(err.Error())
 	if n != ss.r.primary {
 		wasHealthy := n.healthy.Load()
 		n.markDown()
@@ -318,10 +350,11 @@ func (ss *session) fail(n *node, err error) {
 // mid-exchange means it may have (unknown_state, not retryable). There
 // is no silent retry of writes — exactly-once is the client's contract
 // to manage, and lying about it would corrupt downstream state.
-func (ss *session) forwardWrite(req *server.Request) *server.Response {
-	c, err := ss.conn(ss.r.primary)
+func (ss *session) forwardWrite(req *server.Request, ft *fwdTrace) *server.Response {
+	c, err := ss.conn(ss.r.primary, ft)
 	if err != nil {
 		ss.r.met.Inc(RoutePrimaryDown)
+		ss.r.primary.noteFailure(err.Error())
 		if ss.r.opts.Logger != nil {
 			ss.r.opts.Logger.Warn("primary unreachable", "error", err)
 		}
@@ -331,10 +364,13 @@ func (ss *session) forwardWrite(req *server.Request) *server.Response {
 			Retryable: true,
 		}}
 	}
+	start := time.Now()
 	resp, err := c.Do(*req)
+	ft.spanNode("backend_wait", ss.r.primary.name, start)
 	if err != nil && c.Broken() {
 		ss.drop(ss.r.primary)
 		ss.r.met.Inc(RouteUnknownState)
+		ss.r.primary.noteFailure(err.Error())
 		return &server.Response{Error: &server.WireError{
 			Code:    server.CodeUnknownState,
 			Message: fmt.Sprintf("session to primary broke mid-write; execution state unknown: %v", err),
@@ -342,6 +378,7 @@ func (ss *session) forwardWrite(req *server.Request) *server.Response {
 	}
 	// Wire errors on an intact session (sql_error, not_ready while the
 	// primary recovers, overloaded...) pass through untouched.
+	ft.served(ss.r.primary.name)
 	return resp
 }
 
@@ -427,6 +464,9 @@ func (r *Router) ListenHTTP(addr string) (net.Addr, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", r.handleQuery)
 	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/cluster/metrics", r.handleClusterMetrics)
+	mux.HandleFunc("/cluster/stats", r.handleClusterStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -496,31 +536,75 @@ type RouterStats struct {
 	Replicas []ReplicaHealth  `json:"replicas"`
 }
 
-// ReplicaHealth is one replica's rotation state.
+// ReplicaHealth is one replica's rotation state plus the health checker's
+// probe observability: the last probe's round-trip time, why the node
+// last failed (persists across re-admission as evidence), and how often
+// it has been ejected.
 type ReplicaHealth struct {
-	Backend string `json:"backend"`
-	Healthy bool   `json:"healthy"`
+	Backend     string  `json:"backend"`
+	Node        string  `json:"node"`
+	Healthy     bool    `json:"healthy"`
+	ProbeRTTMs  float64 `json:"probe_rtt_ms"`
+	LastFailure string  `json:"last_failure,omitempty"`
+	Ejections   int64   `json:"ejections"`
+}
+
+// routeCounterNames is every route.* counter, zero-prefilled on /stats and
+// /metrics so dashboards never see series appear mid-run.
+var routeCounterNames = []string{
+	RouteReads, RouteWrites, RouteReadFailovers, RouteEjections,
+	RouteReadmissions, RoutePrimaryDown, RouteUnknownState, RouteBadRequests,
 }
 
 // Stats snapshots the router counters and per-replica health.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{Counters: r.met.Snapshot()}
-	for _, name := range []string{
-		RouteReads, RouteWrites, RouteReadFailovers, RouteEjections,
-		RouteReadmissions, RoutePrimaryDown, RouteUnknownState, RouteBadRequests,
-	} {
+	for _, name := range routeCounterNames {
 		if _, ok := st.Counters[name]; !ok {
 			st.Counters[name] = 0
 		}
 	}
 	for _, n := range r.replicas {
-		st.Replicas = append(st.Replicas, ReplicaHealth{Backend: n.be.String(), Healthy: n.healthy.Load()})
+		st.Replicas = append(st.Replicas, ReplicaHealth{
+			Backend:     n.be.String(),
+			Node:        n.name,
+			Healthy:     n.healthy.Load(),
+			ProbeRTTMs:  float64(n.rttNanos.Load()) / 1e6,
+			LastFailure: n.failureReason(),
+			Ejections:   n.ejections.Load(),
+		})
 	}
 	return st
 }
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+// handleMetrics renders the router's own GET /metrics: every route.*
+// counter (zero-prefilled, like the backends' expositions), the replica
+// rotation gauges, and one read-latency histogram family labeled by
+// backend node.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	st := r.Stats()
+	obs.WriteCounters(w, "rcnvm", st.Counters, nil)
+	obs.WriteGauge(w, "rcnvm_route_replicas", float64(len(r.replicas)))
+	obs.WriteGauge(w, "rcnvm_route_replicas_healthy", float64(r.Healthy()))
+	items := make([]obs.LabeledHistogram, 0, 1+len(r.replicas))
+	for _, n := range r.allNodes() {
+		items = append(items, obs.LabeledHistogram{Label: n.name, H: n.lat})
+	}
+	obs.WriteLabeledHistograms(w, "rcnvm_route_backend_read_latency_seconds", "backend", items, 1e-9)
+}
+
+// allNodes returns every backend node, primary first — the canonical node
+// order of federated expositions and /cluster/stats.
+func (r *Router) allNodes() []*node {
+	out := make([]*node, 0, 1+len(r.replicas))
+	out = append(out, r.primary)
+	out = append(out, r.replicas...)
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

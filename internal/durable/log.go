@@ -79,6 +79,15 @@ type Log struct {
 	segIdx  int        // current segment index within epoch
 	size    int64      // bytes in current segment
 	seq     uint64     // records appended
+	// Cumulative WAL accounting within the current epoch, across all of
+	// its segments: how many records and framed bytes exist between the
+	// epoch's start and the current append position. A follower applying
+	// from (seg 1, off 0) of the same epoch counts the same way, so
+	// primaryTotals - followerApplied is an exact replication lag.
+	// Recovery seeds both from the replayed tail (seedTotals), so the
+	// totals survive primary restarts; an epoch rotation resets them.
+	epochRecs  int64
+	epochBytes int64
 	flushed uint64     // records covered by a completed fsync
 	syncErr error      // sticky: a failed fsync poisons the log
 	retired []*os.File // rotated-out segments awaiting sync+close
@@ -166,6 +175,8 @@ func (l *Log) Append(payload []byte) (wait func() error, err error) {
 	}
 	l.size += int64(len(frame))
 	l.seq++
+	l.epochRecs++
+	l.epochBytes += int64(len(frame))
 	seq := l.seq
 	l.mu.Unlock()
 
@@ -316,7 +327,19 @@ func (l *Log) Rotate(epoch uint64) error {
 	l.epoch = epoch
 	l.segIdx = 1
 	l.size = 0
+	l.epochRecs = 0
+	l.epochBytes = 0
 	return nil
+}
+
+// seedTotals sets the epoch-cumulative record/byte totals. Recovery calls
+// it right after openLog with the counts it validated while replaying the
+// epoch's segments, before any new Append can run.
+func (l *Log) seedTotals(recs, bytes int64) {
+	l.mu.Lock()
+	l.epochRecs = recs
+	l.epochBytes = bytes
+	l.mu.Unlock()
 }
 
 // Close force-syncs and closes the log. Further Appends fail.

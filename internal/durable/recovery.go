@@ -89,7 +89,7 @@ func (s *Store) Recover(c *shard.Cluster) (RecoveryStats, error) {
 	// appending at the validated offset.
 	logs := make([]*Log, s.n)
 	for i := 0; i < s.n; i++ {
-		lastIdx, lastSize, err := s.replayShard(c, i, &stats)
+		lastIdx, lastSize, recs, bytes, err := s.replayShard(c, i, &stats)
 		if err != nil {
 			return stats, err
 		}
@@ -101,6 +101,9 @@ func (s *Store) Recover(c *shard.Cluster) (RecoveryStats, error) {
 			}
 			return stats, err
 		}
+		// Seed the epoch-cumulative totals from the replayed tail so
+		// replication-lag accounting survives primary restarts.
+		logs[i].seedTotals(recs, bytes)
 	}
 	for i := 0; i < s.n; i++ {
 		c.Shard(i).SetCommitLog(&shardHook{log: logs[i]})
@@ -116,26 +119,28 @@ func (s *Store) Recover(c *shard.Cluster) (RecoveryStats, error) {
 
 // replayShard replays shard i's current-epoch segments in index order and
 // returns the index and validated byte length of the final segment (1 and
-// 0 when the shard has no segments yet).
-func (s *Store) replayShard(c *shard.Cluster, i int, stats *RecoveryStats) (lastIdx int, lastSize int64, err error) {
+// 0 when the shard has no segments yet), plus the shard's replayed record
+// count and cumulative validated bytes across all segments — the seeds for
+// the log's epoch totals.
+func (s *Store) replayShard(c *shard.Cluster, i int, stats *RecoveryStats) (lastIdx int, lastSize int64, recs, bytes int64, err error) {
 	paths, idxs, err := s.sortedSegments(i)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, 0, err
 	}
 	if len(paths) == 0 {
-		return 1, 0, nil
+		return 1, 0, 0, 0, nil
 	}
 	for j, idx := range idxs {
 		// Segments are born 1, 2, 3... within an epoch; a gap means a
 		// segment of acknowledged records is gone.
 		if idx != j+1 {
-			return 0, 0, fmt.Errorf("durable: shard %d: wal segment %d missing (found segment %d)", i, j+1, idx)
+			return 0, 0, 0, 0, fmt.Errorf("durable: shard %d: wal segment %d missing (found segment %d)", i, j+1, idx)
 		}
 	}
 	for j, path := range paths {
 		raw, err := os.ReadFile(path)
 		if err != nil {
-			return 0, 0, fmt.Errorf("durable: %w", err)
+			return 0, 0, 0, 0, fmt.Errorf("durable: %w", err)
 		}
 		final := j == len(paths)-1
 		off := int64(0)
@@ -148,30 +153,32 @@ func (s *Store) replayShard(c *shard.Cluster, i int, stats *RecoveryStats) (last
 					// acknowledged. Drop it and continue from here.
 					torn := int64(len(rest))
 					if err := os.Truncate(path, off); err != nil {
-						return 0, 0, fmt.Errorf("durable: truncate torn tail: %w", err)
+						return 0, 0, 0, 0, fmt.Errorf("durable: truncate torn tail: %w", err)
 					}
 					stats.TornBytes += torn
 					rest = nil
 					break
 				}
-				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
+				return 0, 0, 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
 			}
 			rec, err := DecodePayload(payload)
 			if err != nil {
-				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
+				return 0, 0, 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
 			}
 			if err := Apply(c, i, rec); err != nil {
-				return 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
+				return 0, 0, 0, 0, fmt.Errorf("durable: shard %d %s at offset %d: %w", i, filepath.Base(path), off, err)
 			}
 			stats.Records++
+			recs++
 			off += int64(len(rest) - len(next))
 			rest = next
 		}
+		bytes += off
 		if final {
 			lastIdx, lastSize = idxs[j], off
 		}
 	}
-	return lastIdx, lastSize, nil
+	return lastIdx, lastSize, recs, bytes, nil
 }
 
 // Apply re-executes one WAL record against shard i of c — the single

@@ -48,6 +48,25 @@ type ShardPosition struct {
 	Off int64 `json:"off"`
 }
 
+// ShardTotals is one shard's cumulative WAL accounting within the current
+// epoch: how many records and framed bytes have been appended since the
+// epoch began, across all of its segments. A follower streaming the same
+// epoch from (seg 1, off 0) accumulates the same quantities as it applies,
+// so primary totals minus follower applied is an exact per-shard
+// replication lag in records and bytes.
+type ShardTotals struct {
+	Recs  int64 `json:"recs"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Totals returns the log's epoch-cumulative record and byte counts (see
+// ShardTotals).
+func (l *Log) Totals() (recs, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epochRecs, l.epochBytes
+}
+
 // Position returns the log's current epoch, segment index, and the byte
 // length of the current segment that is covered by completed appends.
 // Bytes below the returned size are complete frames, safe for a
@@ -77,25 +96,30 @@ func (s *Store) shardLog(i int) (*Log, error) {
 }
 
 // StreamState reports the store's current shipping state: the epoch, the
-// engine mode and shard count a follower must match, and every shard's
-// append position. The positions are a consistent target for catch-up
-// checks: a follower that has applied past them has seen every record
-// acknowledged before the call.
-func (s *Store) StreamState() (epoch uint64, mode engine.Mode, shards int, pos []ShardPosition, err error) {
+// engine mode and shard count a follower must match, every shard's append
+// position, and every shard's epoch-cumulative record/byte totals. The
+// positions are a consistent target for catch-up checks: a follower that
+// has applied past them has seen every record acknowledged before the
+// call. The totals are the lag baseline: follower applied-counts
+// subtracted from them give records/bytes behind.
+func (s *Store) StreamState() (epoch uint64, mode engine.Mode, shards int, pos []ShardPosition, totals []ShardTotals, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, 0, 0, nil, errLogClosed
+		return 0, 0, 0, nil, nil, errLogClosed
 	}
 	if s.cluster == nil {
-		return 0, 0, 0, nil, fmt.Errorf("durable: store not attached (call Recover first)")
+		return 0, 0, 0, nil, nil, fmt.Errorf("durable: store not attached (call Recover first)")
 	}
 	pos = make([]ShardPosition, s.n)
+	totals = make([]ShardTotals, s.n)
 	for i, l := range s.logs {
 		_, seg, size := l.Position()
 		pos[i] = ShardPosition{Seg: seg, Off: size}
+		recs, bytes := l.Totals()
+		totals[i] = ShardTotals{Recs: recs, Bytes: bytes}
 	}
-	return s.epoch, s.mode, s.n, pos, nil
+	return s.epoch, s.mode, s.n, pos, totals, nil
 }
 
 // ReadWAL reads up to maxBytes of framed WAL records from shard i's

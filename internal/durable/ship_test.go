@@ -77,7 +77,7 @@ func TestShipWALToFollowerConverges(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			epoch, mode, n, pos, err := s.StreamState()
+			epoch, mode, n, pos, _, err := s.StreamState()
 			if err != nil {
 				t.Fatal(err)
 			}

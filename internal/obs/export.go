@@ -101,6 +101,31 @@ func ChromeTraceJSON(spans []Span) ([]byte, error) {
 	return bytes.TrimRight(b.Bytes(), "\n"), nil
 }
 
+// ChromeTraceJSONFromEvents renders pre-built events as one Chrome
+// trace-event document (no trailing newline). Callers that merge events
+// from several nodes — the cluster router stitching its own spans with a
+// backend's trace document — assemble the event slice themselves and use
+// this instead of ChromeTraceJSON.
+func ChromeTraceJSONFromEvents(events []Event) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	if err := enc.Encode(tracePayload{TraceEvents: events, DisplayTimeUnit: "ns"}); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(b.Bytes(), "\n"), nil
+}
+
+// ParseChromeTrace decodes a Chrome trace-event document (the
+// ChromeTraceJSON output shape) back into its events. Used by the router
+// to lift a backend's trace document into the stitched cluster trace.
+func ParseChromeTrace(doc []byte) ([]Event, error) {
+	var p tracePayload
+	if err := json.Unmarshal(doc, &p); err != nil {
+		return nil, fmt.Errorf("obs: parse trace document: %w", err)
+	}
+	return p.TraceEvents, nil
+}
+
 // WriteNDJSON writes the spans as newline-delimited trace events (one
 // JSON object per line, metadata events included) — the streaming form
 // for tooling that tails a trace file across many queries.

@@ -30,6 +30,7 @@ const (
 	ProcQuery   = "query"    // wall-clock spans of one statement
 	ProcSimDual = "sim:dual" // RC-NVM timing replay (column accesses as issued)
 	ProcSimRow  = "sim:row"  // row-only downgraded replay
+	ProcRouter  = "router"   // cluster-router spans of one forwarded request
 )
 
 // Span categories.
@@ -37,6 +38,7 @@ const (
 	CatSQL    = "sql"    // parse / lock_wait / exec
 	CatServer = "server" // whole-statement and replay wrappers
 	CatMem    = "mem"    // per-memory-request phases inside the simulator
+	CatRoute  = "route"  // router-side routing / dial / backend-wait / failover
 )
 
 // Span is one completed, named interval on a timeline.

@@ -106,6 +106,64 @@ func WriteHistogram(w io.Writer, name string, h *stats.Histogram, scale float64)
 	return nil
 }
 
+// LabeledHistogram pairs one histogram with the label value that
+// distinguishes it inside a shared metric family.
+type LabeledHistogram struct {
+	Label string
+	H     *stats.Histogram
+}
+
+// WriteLabeledHistograms renders several histograms as ONE Prometheus
+// histogram family distinguished by a label (plus one shared quantile
+// gauge family) — a single TYPE line per family, so the exposition stays
+// valid when the router exposes one latency distribution per backend.
+// scale converts sample units into exposition units (1e-9 renders
+// nanosecond samples as seconds). Nil histograms are skipped.
+func WriteLabeledHistograms(w io.Writer, name, label string, items []LabeledHistogram, scale float64) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if it.H == nil {
+			continue
+		}
+		bounds, counts := it.H.Cumulative()
+		count := it.H.Count()
+		for i, b := range bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, label, it.Label, formatFloat(float64(b)*scale), counts[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, it.Label, count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %s\n%s_count{%s=%q} %d\n",
+			name, label, it.Label, formatFloat(float64(it.H.Sum())*scale),
+			name, label, it.Label, count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if it.H == nil {
+			continue
+		}
+		for _, q := range [...]struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+			if _, err := fmt.Fprintf(w, "%s_quantile{%s=%q,quantile=%q} %s\n",
+				name, label, it.Label, q.label, formatFloat(float64(it.H.Quantile(q.q))*scale)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // formatFloat renders a sample value without exponent surprises for
 // integers and with full precision otherwise.
 func formatFloat(v float64) string {

@@ -105,11 +105,13 @@ type PoolStatus struct {
 	Capacity int `json:"capacity"`
 }
 
-// StatsSnapshot is the GET /stats payload.
+// StatsSnapshot is the GET /stats payload. Replication is present only on
+// a read replica (a Follower registered a status provider).
 type StatsSnapshot struct {
-	Counters map[string]int64 `json:"counters"`
-	Latency  LatencySummary   `json:"latency"`
-	Pool     PoolStatus       `json:"pool"`
+	Counters    map[string]int64   `json:"counters"`
+	Latency     LatencySummary     `json:"latency"`
+	Pool        PoolStatus         `json:"pool"`
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // snapshot assembles the /stats payload.

@@ -94,6 +94,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.WriteGauge(w, "rcnvm_server_pool_capacity", float64(s.pool.Capacity()))
 	obs.WriteGauge(w, "rcnvm_server_shards", float64(s.Cluster().N()))
 
+	// Replication-lag gauges, present only on a read replica.
+	if st, ok := s.replicationStatus(); ok {
+		writeReplicationProm(w, st)
+	}
+
 	s.tel.WriteProm(w, "rcnvm_bank")
 	if s.shardTels != nil {
 		// The aggregate rcnvm_bank_* series stay exactly as on a 1-shard

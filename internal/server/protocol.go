@@ -99,6 +99,12 @@ type Request struct {
 	// parse/lock/exec phases and, with Timing, the per-memory-request
 	// phases of the replay.
 	Trace bool `json:"trace,omitempty"`
+	// TraceID, when non-zero, replaces the request ID as the thread id on
+	// recorded spans — a router stitching one distributed trace across
+	// nodes sets it so router and backend spans share a thread lane. Old
+	// servers ignore the field (unknown JSON fields are dropped on
+	// decode), which degrades to per-node thread ids, never an error.
+	TraceID int64 `json:"trace_id,omitempty"`
 }
 
 // Timing is the simulated memory time of one statement, as issued and

@@ -117,14 +117,17 @@ func (s *Server) readyOr503(w http.ResponseWriter) bool {
 }
 
 // WALStateResponse is the GET /wal/state payload a follower polls: the
-// live epoch, the geometry it must match, and every shard's append
-// position (a catch-up target — a follower at or past these positions
-// has applied everything acknowledged before the call).
+// live epoch, the geometry it must match, every shard's append position
+// (a catch-up target — a follower at or past these positions has applied
+// everything acknowledged before the call), and every shard's
+// epoch-cumulative record/byte totals (the replication-lag baseline;
+// absent from pre-lag primaries, which followers treat as lag unknown).
 type WALStateResponse struct {
 	Epoch  uint64                  `json:"epoch"`
 	Mode   string                  `json:"mode"`
 	Shards int                     `json:"shards"`
 	Pos    []durable.ShardPosition `json:"pos"`
+	Totals []durable.ShardTotals   `json:"totals,omitempty"`
 }
 
 // walStore returns the durable store for a /wal/* request, writing the
@@ -146,13 +149,13 @@ func (s *Server) handleWALState(w http.ResponseWriter, r *http.Request) {
 	if st == nil {
 		return
 	}
-	epoch, mode, shards, pos, err := st.StreamState()
+	epoch, mode, shards, pos, totals, err := st.StreamState()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, WALStateResponse{
-		Epoch: epoch, Mode: mode.String(), Shards: shards, Pos: pos,
+		Epoch: epoch, Mode: mode.String(), Shards: shards, Pos: pos, Totals: totals,
 	})
 }
 

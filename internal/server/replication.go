@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"io"
+)
+
+// Replication-lag surface. A read replica's Follower (internal/cluster)
+// knows, per shard, how far the node trails the primary: it polls the
+// primary's /wal/state (which carries epoch-cumulative record/byte totals
+// per shard) and counts what it has applied locally. The package
+// dependency points cluster→server, so the server cannot ask the follower
+// directly; instead the follower registers a status provider here and
+// /stats + /metrics consult it. A node with no provider (a primary, or a
+// volatile single node) simply omits the series.
+
+// ReplicaShardLag is one shard's replication lag as of the provider call.
+type ReplicaShardLag struct {
+	Shard int `json:"shard"`
+	// RecordsBehind and BytesBehind are the primary's epoch-cumulative
+	// totals minus what this replica has applied — exact within an epoch,
+	// clamped at zero across epoch transitions (the follower re-syncs and
+	// both sides reset).
+	RecordsBehind int64 `json:"records_behind"`
+	BytesBehind   int64 `json:"bytes_behind"`
+	// LastApplyAgeSeconds is the wall time since the last WAL record was
+	// applied to this shard (since bootstrap if none has been). Large
+	// values with zero records behind just mean an idle primary.
+	LastApplyAgeSeconds float64 `json:"last_apply_age_seconds"`
+}
+
+// ReplicationStatus is the replica-side lag snapshot the Follower
+// provides to /stats and /metrics.
+type ReplicationStatus struct {
+	// Epoch is the WAL epoch the replica is streaming.
+	Epoch uint64 `json:"epoch"`
+	// CaughtUp mirrors the follower's readiness flip: true once every
+	// shard reached the catch-up target observed at bootstrap.
+	CaughtUp bool `json:"caught_up"`
+	// StateAgeSeconds is how stale the primary-side totals are: wall time
+	// since the last successful /wal/state poll. Lag numbers are exact as
+	// of that poll, not of now.
+	StateAgeSeconds float64           `json:"state_age_seconds"`
+	Shards          []ReplicaShardLag `json:"shards"`
+}
+
+// SetReplicationStatus registers the provider consulted by /stats and
+// /metrics for replication-lag reporting. The follower calls it once at
+// Start; passing nil unregisters.
+func (s *Server) SetReplicationStatus(f func() ReplicationStatus) {
+	if f == nil {
+		s.repl.Store(nil)
+		return
+	}
+	s.repl.Store(&f)
+}
+
+// replicationStatus invokes the registered provider; ok is false when the
+// node has none (not a replica).
+func (s *Server) replicationStatus() (ReplicationStatus, bool) {
+	p := s.repl.Load()
+	if p == nil {
+		return ReplicationStatus{}, false
+	}
+	return (*p)(), true
+}
+
+// writeReplicationProm renders the replication-lag gauges in Prometheus
+// text format: per-shard rcnvm_cluster_replica_lag_records /
+// _lag_bytes / _last_apply_age_seconds plus the scalar epoch, caught-up
+// and state-age gauges. One TYPE line per family, shard as a label.
+func writeReplicationProm(w io.Writer, st ReplicationStatus) {
+	fmt.Fprintf(w, "# TYPE rcnvm_cluster_replica_epoch gauge\nrcnvm_cluster_replica_epoch %d\n", st.Epoch)
+	caught := 0
+	if st.CaughtUp {
+		caught = 1
+	}
+	fmt.Fprintf(w, "# TYPE rcnvm_cluster_replica_caught_up gauge\nrcnvm_cluster_replica_caught_up %d\n", caught)
+	fmt.Fprintf(w, "# TYPE rcnvm_cluster_replica_state_age_seconds gauge\nrcnvm_cluster_replica_state_age_seconds %g\n", st.StateAgeSeconds)
+	fmt.Fprintf(w, "# TYPE rcnvm_cluster_replica_lag_records gauge\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "rcnvm_cluster_replica_lag_records{shard=\"%d\"} %d\n", sh.Shard, sh.RecordsBehind)
+	}
+	fmt.Fprintf(w, "# TYPE rcnvm_cluster_replica_lag_bytes gauge\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "rcnvm_cluster_replica_lag_bytes{shard=\"%d\"} %d\n", sh.Shard, sh.BytesBehind)
+	}
+	fmt.Fprintf(w, "# TYPE rcnvm_cluster_replica_last_apply_age_seconds gauge\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "rcnvm_cluster_replica_last_apply_age_seconds{shard=\"%d\"} %g\n", sh.Shard, sh.LastApplyAgeSeconds)
+	}
+}

@@ -130,6 +130,10 @@ type Server struct {
 	shardTels []*obs.Telemetry
 	traceSeq  atomic.Uint64 // statements considered for TraceEvery sampling
 	traceMu   sync.Mutex    // serializes TraceSink writes
+
+	// repl holds the replication-lag provider a Follower registers on a
+	// read replica (nil elsewhere); /stats and /metrics consult it.
+	repl atomic.Pointer[func() ReplicationStatus]
 }
 
 // New creates a server over a single database (a 1-shard cluster).
@@ -447,6 +451,9 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.Counters[PlanCacheMisses] = m
 		snap.Counters[PlanCacheEvictions] = e
 	}
+	if st, ok := s.replicationStatus(); ok {
+		snap.Replication = &st
+	}
 	return snap
 }
 
@@ -632,6 +639,12 @@ func (s *Server) execute(req *Request) (resp *Response) {
 		rec = obs.NewRecorder()
 		s.met.Set.Inc(TracedQueries)
 	}
+	// Spans carry the router-assigned distributed trace id when one was
+	// propagated, else the client's request id.
+	tid := int64(req.ID)
+	if req.TraceID != 0 {
+		tid = req.TraceID
+	}
 	var (
 		res     *sql.Result
 		streams []trace.Stream
@@ -642,9 +655,9 @@ func (s *Server) execute(req *Request) (resp *Response) {
 		// exclusive lock; the plan cache is a hot-path optimization, so the
 		// traced path stays on the uncached parser by design.
 		s.met.Set.Inc(TimedQueries)
-		res, streams, err = sql.ExecShardedTracedObserved(s.Cluster(), req.Query, rec, int64(req.ID))
+		res, streams, err = sql.ExecShardedTracedObserved(s.Cluster(), req.Query, rec, tid)
 	} else {
-		res, err = sql.ExecShardedObservedCached(s.Cluster(), s.plans, req.Query, rec, int64(req.ID))
+		res, err = sql.ExecShardedObservedCached(s.Cluster(), s.plans, req.Query, rec, tid)
 	}
 	if err != nil {
 		return s.execError(req.ID, start, err)
@@ -660,7 +673,7 @@ func (s *Server) execute(req *Request) (resp *Response) {
 	if req.Timing {
 		// Replay outside any lock: the replay only reads the recorded
 		// streams, never the databases.
-		if resp.Timing, err = s.replayTiming(streams, rec, int64(req.ID)); err != nil {
+		if resp.Timing, err = s.replayTiming(streams, rec, tid); err != nil {
 			return s.execError(req.ID, start, err)
 		}
 	}

@@ -147,6 +147,29 @@ WRONG=$(grep -vc '\[\[16\]\]' "$LOAD_OUT" || true)
 [ "$WRONG" = 0 ] || { echo "FAIL: $WRONG/$TOTAL reads returned wrong data" >&2; exit 1; }
 echo "   $TOTAL reads, 0 errors while replica1 died"
 
+echo "== federated /cluster/metrics must report the dead replica mid-chaos"
+NODE_UP_OK=0
+for _ in $(seq 1 50); do
+    FED=$(http_get "$RT_HTTP" /cluster/metrics)
+    if printf '%s' "$FED" | grep -qF 'rcnvm_cluster_node_up{node="replica-0"} 0' &&
+       printf '%s' "$FED" | grep -qF 'rcnvm_cluster_node_up{node="replica-1"} 1' &&
+       printf '%s' "$FED" | grep -qF 'rcnvm_cluster_node_up{node="primary"} 1'; then
+        NODE_UP_OK=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$NODE_UP_OK" = 1 ] || {
+    echo "FAIL: /cluster/metrics never reflected the killed replica:" >&2
+    printf '%s\n' "$FED" | grep -o 'rcnvm_cluster_node_up{[^}]*} .' >&2 || true
+    exit 1
+}
+printf '%s' "$FED" | grep -qF 'rcnvm_cluster_replica_lag_records{node="replica-1"' || {
+    echo "FAIL: federated exposition missing node-labeled lag series" >&2
+    exit 1
+}
+echo "   cluster_node_up: replica-0 down, replica-1 + primary up; lag series federated"
+
 echo "== restarting replica1: must catch up and byte-converge"
 start_replica "$R1_TCP" "$R1_HTTP" replica1; R1_PID=$REPLICA_PID
 wait_ready "$R1_HTTP" replica1-restarted

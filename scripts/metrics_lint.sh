@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# metrics_lint.sh — documentation gate for exported metric series.
+#
+# Every exported counter/gauge name constant in internal/server and
+# internal/cluster (the dotted stats.Set names like "server.queries" /
+# "route.reads", plus full Prometheus series names like
+# "rcnvm_cluster_node_up") must appear in DESIGN.md. A series that is not
+# documented fails the build: dashboards and alerts get built against the
+# doc, and an undocumented metric is one nobody can safely rely on or
+# rename.
+#
+# Usage: scripts/metrics_lint.sh    (run from anywhere; CI runs it)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Exported constants assigned a string literal that looks like a metric
+# series name: a dotted counter family ("server.queries") or a prefixed
+# Prometheus name ("rcnvm_cluster_node_up"). Wire codes ("overloaded"),
+# process names and other plain strings do not match.
+names=$(grep -hoE '^[[:space:]]+[A-Z][A-Za-z0-9]*[[:space:]]*=[[:space:]]*"([a-z][a-z0-9_]*\.[a-z0-9_.]+|rcnvm_[a-z0-9_]+)"' \
+    internal/server/*.go internal/cluster/*.go \
+  | grep -oE '"[^"]+"' | tr -d '"' | sort -u)
+
+if [ -z "$names" ]; then
+  echo "metrics_lint: extracted no series names — the pattern rotted" >&2
+  exit 1
+fi
+
+fail=0
+count=0
+for n in $names; do
+  count=$((count + 1))
+  if ! grep -qF "$n" DESIGN.md; then
+    echo "metrics_lint: series \"$n\" is not documented in DESIGN.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "metrics_lint: FAILED — document the series above in DESIGN.md" >&2
+  exit 1
+fi
+echo "metrics_lint: ok ($count series all documented in DESIGN.md)"
