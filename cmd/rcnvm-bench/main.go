@@ -10,8 +10,10 @@
 // fig20, fig21), fig22, fig23, tech (PCM/3D XPoint extension), energy
 // (energy-model extension). Default: all of them. The reliability sweep
 // (rel: ECC corrections/uncorrectables and retry-latency overhead across
-// injected raw bit error rates) is opt-in via -run rel, keeping the
-// default output identical to fault-free builds.
+// injected raw bit error rates) and the hybrid-memory sweep (hybrid:
+// DRAM tier with row-buffer-locality-aware migration in front of RRAM
+// and RC-NVM on the sustained OLXP mix) are opt-in via -run, keeping the
+// default output identical to earlier builds.
 //
 // Independent simulation cells of one experiment fan out over -workers
 // goroutines (default: one per CPU); results are identical to a
@@ -47,7 +49,7 @@ func parseShardCounts(s string) ([]int, error) {
 func main() {
 	scaleFlag := flag.String("scale", "full", "workload scale: small|medium|full")
 	formatFlag := flag.String("format", "text", "output format: text|csv|md")
-	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp,rel,shard) or 'all' (rel and shard stay opt-in)")
+	runFlag := flag.String("run", "all", "comma-separated experiments (table1,table2,fig4,fig5,fig17,fig18,fig22,fig23,tech,energy,olxp,rel,shard,hybrid) or 'all' (rel, shard and hybrid stay opt-in)")
 	workersFlag := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	shardsFlag := flag.String("shards", "1,2,4", "cluster sizes for the shard-scaling sweep (-run shard); first is the determinism baseline")
 	timingFlag := flag.Bool("timing", true, "print per-experiment wall-clock timing to stderr")
@@ -187,6 +189,14 @@ func main() {
 	})
 	step("rel", func() error {
 		tab, err := experiments.ReliabilitySweep(scale, workers)
+		if err != nil {
+			return err
+		}
+		render(tab)
+		return nil
+	})
+	step("hybrid", func() error {
+		tab, err := experiments.HybridSweep(scale, workers)
 		if err != nil {
 			return err
 		}

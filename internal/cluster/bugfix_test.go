@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"rcnvm/internal/engine"
+	"rcnvm/internal/server"
+	"rcnvm/internal/shard"
+)
+
+// TestReadRoundRobinSurvivesCursorWraparound: the round-robin cursor is a
+// uint64; once it passes 1<<63 a naive int(cursor) % n goes negative and
+// indexes out of bounds. Seed the cursor just below the wrap and drive
+// enough reads to cross it — every read must succeed and keep spreading.
+func TestReadRoundRobinSurvivesCursorWraparound(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), 1)
+	r1 := startReplica(t, p.http, 1)
+	r2 := startReplica(t, p.http, 1)
+	rt, addr := startRouter(t, p, r1, r2)
+
+	seed(t, addr, 8)
+	waitConverged(t, p, r1)
+	waitConverged(t, p, r2)
+	waitUntil(t, 10*time.Second, "both replicas in rotation", func() bool { return rt.Healthy() == 2 })
+
+	// Just below the int64 sign boundary AND the uint64 wrap: the reads
+	// below cross both. Before the fix the first read past 1<<63 panicked
+	// the session goroutine with an index out of range.
+	rt.rr.Store(math.MaxInt64 - 3)
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const reads = 12
+	for i := 0; i < reads; i++ {
+		resp := mustQuery(t, c, "SELECT COUNT(*) FROM kv")
+		if len(resp.Rows) != 1 || resp.Rows[0][0] != 8 {
+			t.Fatalf("read %d near cursor wrap returned %+v", i, resp.Rows)
+		}
+	}
+	g1, g2 := counterOf(r1.srv, server.Queries), counterOf(r2.srv, server.Queries)
+	if g1 == 0 || g2 == 0 {
+		t.Errorf("round robin stopped spreading across the wrap: %d vs %d", g1, g2)
+	}
+
+	// Same property across the full uint64 wrap (Add(1) overflows to 0).
+	rt.rr.Store(math.MaxUint64 - 3)
+	for i := 0; i < reads; i++ {
+		mustQuery(t, c, "SELECT COUNT(*) FROM kv")
+	}
+}
+
+// TestReadFailsOverWhenAllReplicasEjected: with every replica out of the
+// rotation (not-ready, as during mass catch-up after an epoch rotation)
+// reads must fail over to the primary and succeed, not error out.
+func TestReadFailsOverWhenAllReplicasEjected(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), 1)
+	r1 := startReplica(t, p.http, 1)
+	r2 := startReplica(t, p.http, 1)
+	rt, addr := startRouter(t, p, r1, r2)
+
+	seed(t, addr, 8)
+	waitConverged(t, p, r1)
+	waitConverged(t, p, r2)
+	waitUntil(t, 10*time.Second, "both replicas in rotation", func() bool { return rt.Healthy() == 2 })
+
+	r1.srv.SetNotReady("test: simulated catch-up")
+	r2.srv.SetNotReady("test: simulated catch-up")
+	waitUntil(t, 10*time.Second, "all replicas ejected", func() bool { return rt.Healthy() == 0 })
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	primaryBase := counterOf(p.srv, server.Queries)
+	const reads = 5
+	for i := 0; i < reads; i++ {
+		resp := mustQuery(t, c, "SELECT COUNT(*) FROM kv")
+		if len(resp.Rows) != 1 || resp.Rows[0][0] != 8 {
+			t.Fatalf("read %d with no replicas returned %+v", i, resp.Rows)
+		}
+	}
+	if got := counterOf(p.srv, server.Queries) - primaryBase; got != reads {
+		t.Errorf("primary served %d of %d reads with all replicas ejected", got, reads)
+	}
+	// Ejected replicas must see zero traffic; the primary fallback is a
+	// clean route (no failed attempt preceded it), so it does not count
+	// as a read failover.
+	if g1, g2 := counterOf(r1.srv, server.RejectedNotReady), counterOf(r2.srv, server.RejectedNotReady); g1 != 0 || g2 != 0 {
+		t.Errorf("ejected replicas were still offered reads: %d, %d", g1, g2)
+	}
+}
+
+// TestFollowerRejectsOversizedCheckpoint: a stub primary advertising a
+// checkpoint past MaxBlobBytes must be rejected with the typed
+// ErrBlobTooLarge before any body copy, instead of the replica trying to
+// buffer it all.
+func TestFollowerRejectsOversizedCheckpoint(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Wal-Epoch", "7")
+		w.Header().Set("Content-Length", strconv.FormatInt(MaxBlobBytes+1, 10))
+		w.WriteHeader(http.StatusOK)
+		// Write nothing: the client must reject on the advertised size
+		// without waiting for (or reading) the body.
+	}))
+	defer stub.Close()
+
+	c, err := shard.Open(engine.DualAddress, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewCluster(c, server.Options{ReadOnly: true})
+	defer srv.Abort()
+	f := NewFollower(srv, FollowerOptions{PrimaryHTTP: stub.Listener.Addr().String()})
+
+	_, epoch, err := f.fetchBlob("/wal/checkpoint?shard=0")
+	if !errors.Is(err, ErrBlobTooLarge) {
+		t.Fatalf("oversized checkpoint: got %v, want ErrBlobTooLarge", err)
+	}
+	if epoch != 7 {
+		t.Errorf("epoch = %d, want 7 (header parsed before the size reject)", epoch)
+	}
+
+	// A small artifact still fetches fine through the bounded path.
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Wal-Epoch", "7")
+		w.Write([]byte("payload"))
+	}))
+	defer ok.Close()
+	f2 := NewFollower(srv, FollowerOptions{PrimaryHTTP: ok.Listener.Addr().String()})
+	raw, _, err := f2.fetchBlob("/wal/registry")
+	if err != nil || string(raw) != "payload" {
+		t.Fatalf("small blob: raw=%q err=%v", raw, err)
+	}
+}

@@ -23,6 +23,18 @@ import (
 // away and the follower must re-bootstrap from the new checkpoint.
 var errEpochGone = errors.New("cluster: wal epoch gone, re-sync required")
 
+// MaxBlobBytes caps one shipped bootstrap artifact (table registry or
+// per-shard checkpoint) read into replica memory. Generous — a full
+// checkpoint of the largest supported engine fits many times over — but
+// finite, so a corrupt Content-Length or a runaway response body cannot
+// OOM the replica.
+const MaxBlobBytes = 1 << 30 // 1 GiB
+
+// ErrBlobTooLarge reports a shipped artifact over MaxBlobBytes. It is
+// permanent for the artifact: retrying cannot shrink the primary's
+// checkpoint, so callers surface it instead of re-syncing forever.
+var ErrBlobTooLarge = errors.New("cluster: shipped artifact exceeds size cap")
+
 // FollowerOptions configures a replica's shipping loop.
 type FollowerOptions struct {
 	// PrimaryHTTP is the primary's HTTP address ("host:port") serving
@@ -541,6 +553,20 @@ func (f *Follower) fetchBlob(path string) ([]byte, uint64, error) {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return nil, epoch, fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, body)
 	}
-	raw, err := io.ReadAll(resp.Body)
-	return raw, epoch, err
+	// Bound the read: an advertised oversize rejects before any copy, and
+	// a body that keeps going past the cap (lying or absent Content-Length)
+	// rejects as soon as it crosses it.
+	if resp.ContentLength > MaxBlobBytes {
+		return nil, epoch, fmt.Errorf("%w: %s advertises %d bytes (cap %d)",
+			ErrBlobTooLarge, path, resp.ContentLength, int64(MaxBlobBytes))
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxBlobBytes+1))
+	if err != nil {
+		return nil, epoch, err
+	}
+	if len(raw) > MaxBlobBytes {
+		return nil, epoch, fmt.Errorf("%w: %s body exceeds %d bytes",
+			ErrBlobTooLarge, path, int64(MaxBlobBytes))
+	}
+	return raw, epoch, nil
 }

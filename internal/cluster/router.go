@@ -250,7 +250,10 @@ func (ss *session) forwardRead(req *server.Request, ft *fwdTrace) *server.Respon
 	tried := 0
 	var lastErr error
 	if n := len(ss.r.replicas); n > 0 {
-		start := int(ss.r.rr.Add(1)) % n
+		// Reduce the uint64 cursor BEFORE converting: int(Add(1)) goes
+		// negative once the counter passes 1<<63, and a negative % n would
+		// index out of bounds.
+		start := int(ss.r.rr.Add(1) % uint64(n))
 		for i := 0; i < n; i++ {
 			rep := ss.r.replicas[(start+i)%n]
 			if !rep.healthy.Load() {

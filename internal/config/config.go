@@ -14,6 +14,7 @@ import (
 	"rcnvm/internal/fault"
 	"rcnvm/internal/memctrl"
 	"rcnvm/internal/obs"
+	"rcnvm/internal/tier"
 )
 
 // System is one complete simulated machine.
@@ -28,6 +29,10 @@ type System struct {
 	// zero value disables it, leaving the simulated timing byte-identical
 	// to a fault-free build).
 	Fault fault.Config
+	// Tier configures a hybrid DRAM cache in front of the NVM device with
+	// row-buffer-locality-aware migration (the zero value disables it,
+	// leaving the simulated timing byte-identical to a tier-free build).
+	Tier tier.Config
 	// Telemetry, when non-nil, receives per-bank counters (hits, queue
 	// depth, bus occupancy) from the device and memory controllers of
 	// systems built from this config. nil (the default) disables it; the

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// TestHybridSweepSmall runs the hybrid sweep end to end at test scale:
+// baseline rows must show no tier activity, hybrid rows must promote and
+// serve from DRAM, and the row-only RRAM family — whose scattered OLTP
+// hot set is the miss-heavy traffic the tier targets — must get faster
+// with the tier at equal NVM capacity.
+func TestHybridSweepSmall(t *testing.T) {
+	tab, err := HybridSweep(ScaleSmall, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * (1 + len(HybridTierRows()))
+	if len(tab.Series) != wantRows || len(tab.XLabels) != 7 {
+		t.Fatalf("hybrid table shape %dx%d, want %dx7", len(tab.Series), len(tab.XLabels), wantRows)
+	}
+	const (
+		colCycles  = 0
+		colSpeedup = 1
+		colHits    = 3
+		colPromos  = 4
+	)
+	stride := 1 + len(HybridTierRows())
+	for _, base := range []int{0, stride} {
+		bs := tab.Series[base]
+		if bs.Values[colHits] != 0 || bs.Values[colPromos] != 0 {
+			t.Errorf("%s: baseline shows tier activity: %v", bs.Label, bs.Values)
+		}
+		if bs.Values[colSpeedup] != 0 {
+			t.Errorf("%s: baseline speedup %.3f, want 0", bs.Label, bs.Values[colSpeedup])
+		}
+		for i := base + 1; i < base+stride; i++ {
+			hs := tab.Series[i]
+			if hs.Values[colPromos] == 0 || hs.Values[colHits] == 0 {
+				t.Errorf("%s: no tier activity (promotions=%v hits=%v)",
+					hs.Label, hs.Values[colPromos], hs.Values[colHits])
+			}
+		}
+	}
+	// The headline claim: hybrid RRAM at the largest capacity beats plain
+	// RRAM on the same NVM device.
+	rramBase, rramBig := tab.Series[0], tab.Series[stride-1]
+	if rramBig.Values[colCycles] >= rramBase.Values[colCycles] {
+		t.Errorf("hybrid %s (%.3f Mcycles) not faster than %s (%.3f)",
+			rramBig.Label, rramBig.Values[colCycles], rramBase.Label, rramBase.Values[colCycles])
+	}
+}
+
+// TestHybridSweepParallelDeterministic: migration decisions are a pure
+// function of the access sequence, so the parallel sweep must render
+// byte-identically to the sequential one.
+func TestHybridSweepParallelDeterministic(t *testing.T) {
+	seq, err := HybridSweep(ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := HybridSweep(ScaleSmall, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := seq.String(), par.String(); s != p {
+		t.Errorf("parallel output differs from sequential:\n--- seq\n%s\n--- par\n%s", s, p)
+	}
+}

@@ -44,6 +44,16 @@ func BenchmarkMemctrlDisabledObs(b *testing.B) {
 	benchRouter(b, nil)
 }
 
+// BenchmarkMemctrlDisabledTier pins the tier nil-hook contract: with no
+// DRAM tier installed the controller's only extra cost is one pointer
+// comparison per request, and the issue path stays allocation-free. CI
+// greps this benchmark's allocs/op alongside the disabled-obs gate.
+func BenchmarkMemctrlDisabledTier(b *testing.B) {
+	benchRouter(b, func(r *Router) {
+		r.SetTier(nil)
+	})
+}
+
 // BenchmarkMemctrlTelemetry measures the telemetry-enabled path for
 // comparison: per-bank counter updates under the telemetry mutex.
 func BenchmarkMemctrlTelemetry(b *testing.B) {

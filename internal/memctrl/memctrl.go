@@ -15,6 +15,7 @@ import (
 	"rcnvm/internal/fault"
 	"rcnvm/internal/obs"
 	"rcnvm/internal/stats"
+	"rcnvm/internal/tier"
 )
 
 // Request is one 64-byte memory transaction.
@@ -70,6 +71,13 @@ type Controller struct {
 	// faultErr is the first uncorrectable memory error this channel
 	// observed (nil when clean); the Router aggregates across channels.
 	faultErr *fault.UncorrectableError
+
+	// tr is the shared hybrid DRAM tier; nil (the default) keeps the pure
+	// NVM path byte-identical: like rec and tel, the disabled check is one
+	// pointer comparison. rt routes tier demotion write-backs, which may
+	// target any channel of the device.
+	tr *tier.Cache
+	rt *Router
 }
 
 // requestPool is a free list of Requests shared by a router's controllers.
@@ -169,7 +177,11 @@ func (c *Controller) pick() int {
 	for i := 0; i < limit; i++ {
 		r := c.queue[i]
 		bank := c.dev.Config().Geom.BankID(r.Coord)
-		if c.bankBusy[bank] {
+		// A DRAM-tier-resident row never needs the NVM bank: it is
+		// issuable even while the bank is busy, and ranks as a buffer hit
+		// under FR-FCFS.
+		tierHit := c.tr != nil && c.tr.WouldServe(now, r.Coord, r.Orient)
+		if !tierHit && c.bankBusy[bank] {
 			continue
 		}
 		// Anti-starvation: a demand request that has waited past the limit
@@ -178,7 +190,7 @@ func (c *Controller) pick() int {
 			c.st.Inc(stats.SchedStarved)
 			return i
 		}
-		hit := c.policy == FRFCFS && c.dev.WouldHit(r.Coord, r.Orient)
+		hit := c.policy == FRFCFS && (tierHit || c.dev.WouldHit(r.Coord, r.Orient))
 		demand := !r.Writeback
 		better := false
 		switch {
@@ -252,10 +264,85 @@ func (c *Controller) eccCheck(inj *fault.Injector, r *Request) int64 {
 	}
 }
 
+// issueTier serves a request from the DRAM tier: the NVM bank is never
+// touched (no activation, no bank-busy window), only the HitPs DRAM
+// access and the shared channel data bus. Returns false when the row is
+// not resident — note that the Serve call for a column-orientation
+// request also applies the tier's coherence policy (queueing demotion
+// write-backs that issue() drains afterwards) before falling through to
+// the device.
+func (c *Controller) issueTier(r *Request, now int64, bank int) bool {
+	if !c.tr.Serve(now, r.Coord, r.Orient, r.Write || r.Writeback) {
+		return false
+	}
+	dataAt := now + c.tr.Config().HitPs
+	transferStart := dataAt
+	if c.busFreeAt > transferStart {
+		transferStart = c.busFreeAt
+	}
+	finish := transferStart + c.dev.Config().Timing.BurstPs()
+	c.busFreeAt = finish
+
+	if c.tel != nil {
+		c.tel.Dequeue(bank)
+		c.tel.Request(bank, r.Write, r.Writeback)
+		c.tel.Bus(bank, finish-transferStart)
+		c.tel.MaybeSample(now)
+	}
+	if c.rec != nil {
+		tid := int64(bank)
+		if now > r.arrive {
+			c.rec.Sim(c.proc, "queue", obs.CatMem, tid, r.arrive, now-r.arrive)
+		}
+		c.rec.Sim(c.proc, "dram_hit", obs.CatMem, tid, now, dataAt-now)
+		c.rec.Sim(c.proc, "burst", obs.CatMem, tid, transferStart, finish-transferStart)
+	}
+
+	switch {
+	case r.Writeback:
+		c.st.Inc(stats.MemWritebacks)
+	case r.Write:
+		c.st.Inc(stats.MemWrites)
+	default:
+		c.st.Inc(stats.MemReads)
+	}
+	if r.Done != nil {
+		c.eng.AtFunc(finish, r.Done)
+	}
+	if r.pooled && c.pool != nil {
+		c.pool.put(r)
+	}
+	return true
+}
+
+// drainTier submits the tier's queued demotion write-backs through the
+// router as ordinary write-back requests, so dirty rows leaving DRAM pass
+// through the normal device write path (wear accounting, SECDED domain).
+// One pop at a time: a Submit can re-enter the scheduler, whose issues
+// may queue further write-backs onto the same queue.
+func (c *Controller) drainTier() {
+	for {
+		wb, ok := c.tr.PopWriteback()
+		if !ok {
+			return
+		}
+		req := c.rt.Alloc()
+		req.Coord = wb.Coord
+		req.Orient = addr.Row
+		req.Write = true
+		req.Writeback = true
+		c.rt.Submit(req)
+	}
+}
+
 // issue runs one request through the device and the channel data bus.
 func (c *Controller) issue(r *Request) {
 	now := c.eng.Now()
 	bank := c.dev.Config().Geom.BankID(r.Coord)
+	if c.tr != nil && !r.Gather && c.issueTier(r, now, bank) {
+		c.drainTier()
+		return
+	}
 	res := c.dev.Access(now, r.Coord, r.Orient, r.Write)
 	if inj := c.dev.Faults(); inj != nil && res.CellRead && !r.Write && !r.Writeback {
 		if penalty := c.eccCheck(inj, r); penalty > 0 {
@@ -315,10 +402,24 @@ func (c *Controller) issue(r *Request) {
 		// finish >= now, so the callback fires with exactly finish.
 		c.eng.AtFunc(finish, r.Done)
 	}
+	tierDrain := false
+	if c.tr != nil && !r.Gather {
+		// Feed the migration policy with the access the NVM actually
+		// served; the promotion copy can start once the bank has the row
+		// in its buffer (ReadyAt).
+		c.tr.OnNVMAccess(now, r.Coord, r.Orient, res.BufferHit, r.Writeback, res.ReadyAt)
+		tierDrain = true
+	}
 	// Everything the scheduled events need has been copied out; a pooled
 	// request can serve the next miss.
 	if r.pooled && c.pool != nil {
 		c.pool.put(r)
+	}
+	if tierDrain {
+		// Demotions queued by this access (column coherence, promotion
+		// evictions) go back through the normal write path — after the
+		// pooled request is recycled, since Submit may reuse it.
+		c.drainTier()
 	}
 }
 
@@ -337,8 +438,26 @@ func NewRouter(eng *event.Engine, dev *device.Device, st *stats.Set, window int)
 	for i := range r.ctrls {
 		r.ctrls[i] = NewController(eng, dev, st, window)
 		r.ctrls[i].pool = &r.pool
+		r.ctrls[i].rt = r
 	}
 	return r
+}
+
+// SetTier installs a hybrid DRAM tier shared by every channel controller:
+// tier-resident rows are served at DRAM latency without touching their
+// NVM bank, and tier demotions are written back through the normal device
+// path. nil disables the tier (the default); the disabled check is a
+// single pointer comparison per request, keeping the pure-NVM path
+// byte-identical and allocation-free.
+func (r *Router) SetTier(t *tier.Cache) {
+	for _, c := range r.ctrls {
+		c.tr = t
+	}
+}
+
+// Tier returns the installed DRAM tier (nil when disabled).
+func (r *Router) Tier() *tier.Cache {
+	return r.ctrls[0].tr
 }
 
 // Alloc returns a zeroed Request from the router's free list. Requests

@@ -241,13 +241,21 @@ type RetryClient struct {
 	rng *rand.Rand
 }
 
+// retrySeq distinguishes RetryClients created within one clock tick:
+// seeding jitter from the wall clock alone gives every client dialed in
+// the same instant (a fleet restarting after a failover) an identical
+// backoff sequence, so their retries land in lockstep and re-overload
+// the backend together.
+var retrySeq atomic.Uint64
+
 // DialRetry creates a retrying client. The initial dial is lazy, so the
 // server may come up after the client.
 func DialRetry(addr string, pol RetryPolicy) *RetryClient {
+	seed := time.Now().UnixNano() + int64(retrySeq.Add(1)<<32)
 	return &RetryClient{
 		addr: addr,
 		pol:  pol.withDefaults(),
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
 

@@ -1,0 +1,31 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryClientsJitterIndependently: two clients dialed back-to-back
+// (same wall-clock instant at nanosecond granularity on a coarse clock)
+// must not draw the same jitter sequence, or a fleet restarting together
+// would retry in lockstep and re-overload the backend it is backing off
+// from.
+func TestRetryClientsJitterIndependently(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Second}
+	a := DialRetry("127.0.0.1:1", pol)
+	b := DialRetry("127.0.0.1:1", pol)
+	defer a.Close()
+	defer b.Close()
+
+	const draws = 16
+	same := true
+	for i := 0; i < draws; i++ {
+		if a.backoff(8) != b.backoff(8) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("two back-to-back clients drew %d identical jitter delays", draws)
+	}
+}

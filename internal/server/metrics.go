@@ -36,6 +36,18 @@ const (
 	PlanCacheEvictions = "plancache.evictions"
 )
 
+// Hybrid DRAM-tier counter names, merged into /stats and /metrics from
+// every timed query's dual replay when Options.Tier is enabled (all zero
+// otherwise). Values must stay in sync with the simulator's stats.Tier*
+// names — TestTierCounterNamesMatchSimulator pins the correspondence.
+const (
+	TierDRAMHits   = "tier.dram_hits"
+	TierPromotions = "tier.promotions"
+	TierDemotions  = "tier.demotions"
+	TierWritebacks = "tier.writebacks"
+	TierColPatches = "tier.col_patches"
+)
+
 // Fault-layer counter names merged into /stats when injection is enabled.
 const (
 	FaultTransientBits = "fault.transient_bits"

@@ -32,6 +32,13 @@ var faultCounterNames = []string{
 	FaultUncorrectable, FaultMiscorrected, FaultWrites,
 }
 
+// tierCounterNames is every tier.* counter; /metrics renders them from
+// the first scrape (all zero when Options.Tier is disabled).
+var tierCounterNames = []string{
+	TierDRAMHits, TierPromotions, TierDemotions, TierWritebacks,
+	TierColPatches,
+}
+
 // promGauges marks the counter names that are levels, not monotonic
 // counts, so the exposition types them gauge without a _total suffix.
 var promGauges = map[string]bool{SessionsActive: true}
@@ -55,6 +62,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for _, name := range planCacheCounterNames {
+		if _, ok := counters[name]; !ok {
+			counters[name] = 0
+		}
+	}
+	for _, name := range tierCounterNames {
 		if _, ok := counters[name]; !ok {
 			counters[name] = 0
 		}

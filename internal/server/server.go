@@ -23,6 +23,7 @@ import (
 	"rcnvm/internal/shard"
 	"rcnvm/internal/sim"
 	"rcnvm/internal/sql"
+	"rcnvm/internal/tier"
 	"rcnvm/internal/trace"
 )
 
@@ -73,6 +74,13 @@ type Options struct {
 	// serves the /wal/* log-shipping endpoints replicas stream from. Nil
 	// (the default) serves fully volatile, exactly as before.
 	Durable *durable.Store
+	// Tier, when enabled (Tier.Rows > 0), fronts every timed query's dual
+	// RC-NVM replay with a DRAM cache using row-buffer-locality-aware
+	// migration (internal/tier). The row-only comparison replay stays
+	// untiered, so Timing.Speedup then reports dual+DRAM over plain
+	// row-only NVM. The replays' tier.* counters merge into /stats and
+	// /metrics. The zero value leaves replays exactly as before.
+	Tier tier.Config
 	// ReadOnly marks a read replica: mutating statements (and batches
 	// containing one) are rejected with CodeReadOnly instead of executing.
 	// The replica's state advances only through shipped WAL records, never
@@ -807,6 +815,7 @@ func (s *Server) replayTiming(streams []trace.Stream, rec *obs.Recorder, tid int
 			continue
 		}
 		cfg := config.RCNVM()
+		cfg.Tier = s.opts.Tier
 		run := obs.NewTelemetry(cfg.Device.Geom.TotalBanks(), obs.DefaultSampleIntervalPs)
 		cfg.Telemetry = run
 		dualSys, err := sim.New(cfg)
@@ -817,6 +826,11 @@ func (s *Server) replayTiming(streams []trace.Stream, rec *obs.Recorder, tid int
 		dual, err := dualSys.Run([]trace.Stream{stream})
 		if err != nil {
 			return nil, fmt.Errorf("server: trace replay: %w", err)
+		}
+		for _, name := range tierCounterNames {
+			if v := dual.Counters[name]; v != 0 {
+				s.met.Set.Add(name, v)
+			}
 		}
 		s.tel.Merge(run)
 		if s.shardTels != nil {

@@ -17,6 +17,7 @@ import (
 	"rcnvm/internal/memctrl"
 	"rcnvm/internal/obs"
 	"rcnvm/internal/stats"
+	"rcnvm/internal/tier"
 	"rcnvm/internal/trace"
 )
 
@@ -30,6 +31,7 @@ type System struct {
 	Runner *cpu.Runner
 	Stats  *stats.Set
 	Faults *fault.Injector // nil unless Cfg.Fault is enabled
+	Tier   *tier.Cache     // nil unless Cfg.Tier is enabled
 
 	ran bool
 }
@@ -48,6 +50,11 @@ func New(cfg config.System) (*System, error) {
 	router.SetPolicy(cfg.MemPolicy)
 	if cfg.Telemetry != nil {
 		router.SetTelemetry(cfg.Telemetry)
+	}
+	var tr *tier.Cache
+	if cfg.Tier.Enabled() {
+		tr = tier.New(cfg.Tier, cfg.Device.Geom, eng, st)
+		router.SetTier(tr)
 	}
 	dual := cfg.Device.SupportsColumn()
 	hier := cache.New(cfg.Cache, cfg.Device.Geom, dual, eng, st, func(r *cache.MemRequest) {
@@ -72,6 +79,7 @@ func New(cfg config.System) (*System, error) {
 		Runner: runner,
 		Stats:  st,
 		Faults: inj,
+		Tier:   tr,
 	}, nil
 }
 

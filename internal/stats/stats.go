@@ -157,4 +157,12 @@ const (
 	OpsExecuted = "core.ops"
 	ComputePs   = "core.compute_ps"
 	StallPs     = "core.stall_ps"
+
+	// Hybrid DRAM tier (internal/tier): row migrations between the DRAM
+	// cache and the NVM device, and the accesses DRAM absorbed.
+	TierDRAMHits   = "tier.dram_hits"
+	TierPromotions = "tier.promotions"
+	TierDemotions  = "tier.demotions"
+	TierWritebacks = "tier.writebacks"
+	TierColPatches = "tier.col_patches"
 )

@@ -247,3 +247,60 @@ func RunMixed(sys config.System, p Params) (sim.Result, error) {
 	}
 	return sim.RunOn(sys, streams)
 }
+
+// MixedStreamsRounds is the sustained form of the OLXP mix: the OLTP
+// transaction set (hot-set point fetches + single-field updates) and the
+// OLAP scan set repeat rounds times, modeling a steady-state serving
+// window instead of MixedStreams's single pass. Repetition is what
+// exposes memory-system steady-state behavior — hot rows re-miss the
+// row buffer across passes once the working set exceeds the LLC — and is
+// the workload of the hybrid DRAM-tier sweep. rounds <= 1 degenerates to
+// the single-pass mix.
+func MixedStreamsRounds(sys config.System, p Params, rounds int) ([]trace.Stream, error) {
+	env, err := NewEnv(sys, p)
+	if err != nil {
+		return nil, err
+	}
+	cores := sys.CPU.Cores
+	oltpCores := cores / 2
+	if oltpCores == 0 {
+		oltpCores = 1
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	oltp := query.New(query.ArchOf(sys.Device.Kind), oltpCores)
+	oltp.BeginQuery(env.A.Table())
+	hot := selectTuples(p.TuplesA, 0.02, p.Seed+200)
+	olap := query.New(query.ArchOf(sys.Device.Kind), cores-oltpCores)
+	olap.BeginQuery(env.A.Table())
+	for r := 0; r < rounds; r++ {
+		if err := oltp.FetchTuples(env.A, hot, []string{"f3", "f4"}, query.TouchCycles); err != nil {
+			return nil, err
+		}
+		if err := oltp.UpdateTuples(env.A, hot, []string{"f9"}, query.TouchCycles); err != nil {
+			return nil, err
+		}
+		if err := olap.ScanField(env.A, "f10", false, query.CmpCycles); err != nil {
+			return nil, err
+		}
+		if err := olap.ScanField(env.A, "f1", false, query.AggCycles); err != nil {
+			return nil, err
+		}
+	}
+
+	streams := make([]trace.Stream, 0, cores)
+	streams = append(streams, oltp.Streams()...)
+	streams = append(streams, olap.Streams()...)
+	return streams, nil
+}
+
+// RunMixedRounds executes the sustained OLXP mix on one system.
+func RunMixedRounds(sys config.System, p Params, rounds int) (sim.Result, error) {
+	streams, err := MixedStreamsRounds(sys, p, rounds)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.RunOn(sys, streams)
+}
